@@ -1,0 +1,79 @@
+// Multicast flow control (extension): the open problem of Section 4
+// ("flow control has to be performed on messages consisting of multiple
+// packets ... it is not immediately clear how these should be extended to
+// multicast communication"), closed with RTS/CTS slot admission at the
+// sequencer — and measured against the paper's own failure mode, the
+// Figure 4 throughput collapse for large messages.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace amoeba;
+using namespace amoeba::bench;
+
+ThroughputResult run(std::size_t senders, std::size_t bytes, bool fc) {
+  group::GroupConfig cfg;
+  cfg.method = group::Method::pb;
+  cfg.flow_control = fc;
+  group::SimGroupHarness h(senders, cfg);
+  ThroughputResult out;
+  if (!h.form_group()) return out;
+  for (std::size_t p = 0; p < senders; ++p) {
+    h.process(p).set_keep_payloads(false);
+  }
+  std::uint64_t completed = 0;
+  for (std::size_t p = 0; p < senders; ++p) {
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [&h, &completed, p, bytes, loop] {
+      h.process(p).user_send(make_pattern_buffer(bytes),
+                             [&completed, loop](Status s) {
+                               if (s == Status::ok) ++completed;
+                               (*loop)();
+                             });
+    };
+    (*loop)();
+  }
+  h.run_until([] { return false; }, Duration::seconds(1));
+  const std::uint64_t warm = completed;
+  const Time t0 = h.engine().now();
+  h.run_until([] { return false; }, Duration::seconds(5));
+  out.ok = true;
+  out.msgs_per_sec =
+      static_cast<double>(completed - warm) / (h.engine().now() - t0).to_seconds();
+  for (std::size_t p = 0; p < senders; ++p) {
+    out.nic_drops += h.world().node(p).nic().rx_dropped();
+    out.history_stalls += h.process(p).member().stats().history_stalls;
+    out.retransmits += h.process(p).member().stats().retransmits_served;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Multicast flow control vs the Figure 4 collapse",
+               "Section 4's open problem, implemented and measured");
+
+  for (const std::size_t bytes : {std::size_t{4096}, std::size_t{8000}}) {
+    std::printf("\n%zu-byte messages, all members sending:\n", bytes);
+    print_series_header({"senders", "off msg/s", "off drops", "off stalls",
+                         "FC msg/s", "FC drops", "FC stalls"});
+    for (const std::size_t n : {std::size_t{4}, std::size_t{8}, std::size_t{12}, std::size_t{16}}) {
+      const auto off = run(n, bytes, false);
+      const auto fc = run(n, bytes, true);
+      print_row({fmt("%zu", n), fmt("%.0f", off.msgs_per_sec),
+                 fmt("%llu", (unsigned long long)off.nic_drops),
+                 fmt("%llu", (unsigned long long)off.history_stalls),
+                 fmt("%.0f", fc.msgs_per_sec),
+                 fmt("%llu", (unsigned long long)fc.nic_drops),
+                 fmt("%llu", (unsigned long long)fc.history_stalls)});
+    }
+  }
+  std::printf(
+      "\nWithout admission control, concurrent multi-fragment messages\n"
+      "overflow the sequencer's 32-frame Lance ring and throughput\n"
+      "collapses into timeout-driven retransmission (the paper's Figure 4\n"
+      "cliff). With 2 admission slots the same load degrades gracefully\n"
+      "to the wire/CPU limit instead.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Section 2.2's central design argument, measured: "distributed protocols
+// for total ordering are more complex, and often perform worse."
+//
+// Three total-order protocols on the identical simulated testbed:
+//   - Amoeba's static sequencer (this library, PB method);
+//   - Chang-Maxemchuk's rotating token site (baselines/chang_maxemchuk);
+//   - Psync-style distributed ordering by Lamport stamps, which needs a
+//     message from every member before anything delivers
+//     (baselines/psync).
+//
+// The lone-sender delay column is the paper's argument in one number: the
+// sequencer answers in one round trip; the distributed protocol waits for
+// everyone's (null) traffic. The protocol-messages column counts what the
+// wire carries per useful broadcast, including Psync's heartbeats.
+#include "baselines/psync.hpp"
+#include "bench_common.hpp"
+#include "transport/sim_runtime.hpp"
+
+namespace {
+
+using namespace amoeba;
+using namespace amoeba::bench;
+
+struct PsyncRun {
+  double lone_delay_us{0};
+  double busy_delay_us{0};  // all members sending
+  double wire_msgs_per_broadcast{0};
+};
+
+PsyncRun run_psync(std::size_t members, int broadcasts) {
+  sim::World world(members);
+  struct Proc {
+    transport::SimExecutor exec;
+    transport::SimDevice dev;
+    flip::FlipStack flip;
+    std::unique_ptr<baselines::PsyncMember> member;
+    std::uint64_t delivered{0};
+    Time last_delivery{};
+    explicit Proc(sim::Node& n) : exec(n), dev(n), flip(exec, dev) {}
+  };
+  std::vector<flip::Address> ring;
+  for (std::size_t i = 0; i < members; ++i) {
+    ring.push_back(flip::process_address(i + 1));
+  }
+  std::vector<std::unique_ptr<Proc>> procs;
+  for (std::size_t i = 0; i < members; ++i) {
+    auto p = std::make_unique<Proc>(world.node(i));
+    auto* raw = p.get();
+    p->member = std::make_unique<baselines::PsyncMember>(
+        p->flip, p->exec, ring[i], flip::group_address(0xB7), ring,
+        static_cast<std::uint32_t>(i), baselines::PsyncConfig{},
+        [raw, &world](const baselines::PsyncMember::Delivery&) {
+          ++raw->delivered;
+          raw->last_delivery = world.now();
+        });
+    procs.push_back(std::move(p));
+  }
+  const auto run_until = [&](const std::function<bool()>& pred, Duration d) {
+    const Time limit = world.now() + d;
+    while (!pred()) {
+      if (world.now() >= limit || world.engine().pending() == 0) break;
+      world.engine().run_steps(1);
+    }
+  };
+
+  PsyncRun out;
+  // Lone sender: delay until the sender itself can deliver its own
+  // message in total order.
+  Histogram lone;
+  for (int k = 0; k < broadcasts; ++k) {
+    const Time t0 = world.now();
+    const std::uint64_t before = procs[1]->delivered;
+    procs[1]->member->send(Buffer{});
+    run_until([&] { return procs[1]->delivered > before; },
+              Duration::seconds(5));
+    lone.add(world.now() - t0);
+  }
+  out.lone_delay_us = lone.mean();
+
+  // All-senders: the steady state amortizes the heartbeats away.
+  Histogram busy;
+  const std::uint64_t frames_before = world.segment().frames_delivered();
+  std::uint64_t total_before = 0;
+  for (auto& p : procs) total_before += p->delivered;
+  for (int k = 0; k < broadcasts; ++k) {
+    const Time t0 = world.now();
+    const std::uint64_t before = procs[1]->delivered;
+    for (std::size_t p = 0; p < members; ++p) {
+      procs[p]->member->send(Buffer{});
+    }
+    run_until(
+        [&] {
+          return procs[1]->delivered >=
+                 before + static_cast<std::uint64_t>(members);
+        },
+        Duration::seconds(5));
+    busy.add((world.now() - t0) / static_cast<std::int64_t>(members));
+  }
+  out.busy_delay_us = busy.mean();
+  std::uint64_t total_after = 0;
+  for (auto& p : procs) total_after += p->delivered;
+  const double useful = static_cast<double>(total_after - total_before) /
+                        static_cast<double>(members);
+  out.wire_msgs_per_broadcast =
+      static_cast<double>(world.segment().frames_delivered() - frames_before) /
+      static_cast<double>(members - 1) / std::max(1.0, useful);
+  return out;
+}
+
+double amoeba_lone_delay(std::size_t members) {
+  const auto r = measure_delay(members, 0, group::Method::pb, 0, 150);
+  return r.mean_us;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Total-order protocols head to head",
+               "Section 2.2: why a centralized sequencer");
+
+  print_series_header({"n", "Amoeba lone ms", "Psync lone ms",
+                       "Psync busy ms", "Psync msgs/bc"});
+  for (const std::size_t n : {std::size_t{3}, std::size_t{5}, std::size_t{10}}) {
+    const double am = amoeba_lone_delay(n);
+    const PsyncRun ps = run_psync(n, 60);
+    print_row({fmt("%zu", n), fmt("%.2f", am / 1000.0),
+               fmt("%.2f", ps.lone_delay_us / 1000.0),
+               fmt("%.2f", ps.busy_delay_us / 1000.0),
+               fmt("%.1f", ps.wire_msgs_per_broadcast)});
+  }
+  std::printf(
+      "\nThe lone-sender column is the paper's argument: the sequencer\n"
+      "delivers after one round trip (~2.7 ms); the distributed protocol\n"
+      "cannot deliver until it hears from EVERY member, so a quiet group\n"
+      "costs a heartbeat interval per message and constant null traffic.\n"
+      "At small n under symmetric load the gap narrows (everyone's data\n"
+      "doubles as everyone's stability evidence) — why such protocols\n"
+      "suit bursty symmetric workloads. By n = 10 on these 20-MHz CPUs\n"
+      "the n^2 heartbeat/ack traffic saturates the receive paths and the\n"
+      "protocol collapses outright, which is Section 2.2's \"often\n"
+      "perform worse\" with the mechanism attached.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scalability beyond the testbed: the paper's own extrapolation, tested.
+//
+// Section 4: "From these numbers, one can estimate that each node adds 4
+// microseconds to the delay for a broadcast ... Extrapolating, the delay
+// for a broadcast to a group of 100 nodes should be 3.2 msec." The
+// authors only had 30 machines; the simulator does not care. This bench
+// runs the real protocol at 50-150 members and checks the extrapolation —
+// and then pushes throughput at scale to expose what actually limits the
+// sequencer design (Section 7's conclusion: message processing time).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amoeba;
+  using namespace amoeba::bench;
+
+  print_header("Scalability beyond the 30-machine testbed",
+               "Section 4's extrapolation to 100 nodes, and past it");
+
+  std::printf("Delay, 1 sender, PB, 0-byte (paper predicts 3.2 ms @ 100):\n");
+  print_series_header({"members", "delay ms", "paper's fit"});
+  for (const std::size_t n : {std::size_t{30}, std::size_t{50}, std::size_t{75}, std::size_t{100}, std::size_t{125}, std::size_t{150}}) {
+    const auto r = measure_delay(n, 0, group::Method::pb, 0, 60);
+    // The paper's linear fit: 2.7 ms + 4 us * (n - 2).
+    const double fit_ms = 2.7 + 0.004 * (static_cast<double>(n) - 2);
+    print_row({fmt("%zu", n), r.ok ? fmt("%.2f", r.mean_us / 1000.0) : "FAIL",
+               fmt("%.2f", fit_ms)});
+  }
+
+  std::printf("\nThroughput, all members sending, 0-byte. With the paper's\n"
+              "128-message history, large sender counts starve (every\n"
+              "sender holds a slot + trim lag); a history sized ~4x the\n"
+              "membership restores the sequencer-bound plateau:\n");
+  print_series_header({"members", "hist=128", "hist=4n", "stalls@128"});
+  for (const std::size_t n : {std::size_t{16}, std::size_t{32}, std::size_t{64}, std::size_t{100}}) {
+    const auto t128 = measure_throughput(n, 0, group::Method::pb, 0,
+                                         Duration::seconds(3));
+    const auto tbig = measure_throughput(n, 0, group::Method::pb, 0,
+                                         Duration::seconds(3), 1, 4 * n);
+    print_row({fmt("%zu", n), t128.ok ? fmt("%.0f", t128.msgs_per_sec) : "FAIL",
+               tbig.ok ? fmt("%.0f", tbig.msgs_per_sec) : "FAIL",
+               fmt("%llu", (unsigned long long)t128.history_stalls)});
+  }
+
+  std::printf(
+      "\nThe delay extrapolation holds (the per-member term is sequencer\n"
+      "bookkeeping, linear by construction). Throughput at scale is the\n"
+      "flat sequencer ceiling minus the per-member bookkeeping — PROVIDED\n"
+      "the history buffer scales with the membership; the paper's fixed\n"
+      "128 silently assumes <= ~30 concurrent senders. Either way the\n"
+      "limit is the paper's conclusion (1): \"the scalability of our\n"
+      "sequencer-based protocols is limited by message processing time\",\n"
+      "not by the number of members.\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+// groupchat — a real command-line tool on the library's UDP runtime.
+//
+// Run one instance per terminal (or per machine on a LAN); every line you
+// type is a SendToGroup and every member prints the identical transcript,
+// in the identical order. The first instance creates the group; the rest
+// join. If the creator dies, any member can type /reset to rebuild.
+//
+// Usage:
+//   groupchat --id N --peers host:port,host:port,...  [--create]
+//
+// where the N-th entry of --peers is this instance's own bind address.
+// Example, three terminals on one machine:
+//   ./groupchat --id 0 --peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 --create
+//   ./groupchat --id 1 --peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//   ./groupchat --id 2 --peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// Commands: /info, /reset, /transfer <member>, /quit.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "group/blocking.hpp"
+
+using namespace amoeba;
+using namespace amoeba::group;
+
+namespace {
+
+struct Options {
+  std::uint32_t id{0};
+  std::vector<std::pair<std::string, std::uint16_t>> peers;
+  bool create{false};
+  bool ok{false};
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--id" && i + 1 < argc) {
+      opt.id = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--peers" && i + 1 < argc) {
+      std::stringstream ss(argv[++i]);
+      std::string entry;
+      while (std::getline(ss, entry, ',')) {
+        const auto colon = entry.rfind(':');
+        if (colon == std::string::npos) return opt;
+        opt.peers.emplace_back(
+            entry.substr(0, colon),
+            static_cast<std::uint16_t>(std::atoi(entry.c_str() + colon + 1)));
+      }
+    } else if (arg == "--create") {
+      opt.create = true;
+    } else {
+      return opt;
+    }
+  }
+  opt.ok = !opt.peers.empty() && opt.id < opt.peers.size();
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (!opt.ok) {
+    std::fprintf(stderr,
+                 "usage: %s --id N --peers host:port,... [--create]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  transport::UdpRuntime rt(opt.peers[opt.id].second);
+  flip::FlipStack flip(rt, rt);
+  GroupConfig cfg;
+  cfg.send_retry = Duration::millis(250);
+  BlockingGroup grp(rt, flip, flip::process_address(opt.id + 1), cfg);
+  rt.set_station_table(opt.id, opt.peers);
+  rt.start();
+
+  const flip::Address gaddr = flip::group_address(0xC0FFEE);
+  if (opt.create) {
+    if (grp.create_group(gaddr) != Status::ok) {
+      std::fprintf(stderr, "create failed\n");
+      return 1;
+    }
+    std::printf("group created; waiting for peers...\n");
+  } else {
+    std::printf("joining...\n");
+    if (grp.join_group(gaddr) != Status::ok) {
+      std::fprintf(stderr, "join failed (is the creator running?)\n");
+      return 1;
+    }
+    std::printf("joined: %zu members\n", grp.get_info().size());
+  }
+
+  // Receiver thread: the ordered transcript.
+  std::thread receiver([&] {
+    while (true) {
+      auto r = grp.receive_from_group(Duration::millis(500));
+      if (!r.ok()) {
+        if (r.status() == Status::timeout) continue;
+        std::printf("[group failed: %s — /reset to rebuild]\n",
+                    std::string(to_string(r.status())).c_str());
+        if (grp.member().state() == GroupMember::State::left) return;
+        continue;
+      }
+      switch (r->kind) {
+        case MessageKind::app:
+          std::printf("[%u] %.*s\n", r->sender,
+                      static_cast<int>(r->data.size()),
+                      reinterpret_cast<const char*>(r->data.data()));
+          break;
+        case MessageKind::join:
+          std::printf("* member joined (now %zu)\n", grp.get_info().size());
+          break;
+        case MessageKind::leave:
+        case MessageKind::expel:
+          std::printf("* member %s (now %zu)\n",
+                      r->kind == MessageKind::leave ? "left" : "expelled",
+                      grp.get_info().size());
+          break;
+        case MessageKind::handoff:
+          std::printf("* sequencer moved to member %u\n",
+                      grp.get_info().sequencer);
+          break;
+      }
+      std::fflush(stdout);
+    }
+  });
+
+  // Input loop (the sending thread).
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "/quit") break;
+    if (line == "/info") {
+      const GroupInfo info = grp.get_info();
+      std::printf("me=%u sequencer=%u incarnation=%u members=%zu seq=%u\n",
+                  info.my_id, info.sequencer, info.incarnation, info.size(),
+                  info.next_seq);
+      continue;
+    }
+    if (line == "/reset") {
+      auto r = grp.reset_group(1);
+      if (r.ok()) {
+        std::printf("rebuilt with %u members\n", *r);
+      } else {
+        std::printf("reset failed: %s\n",
+                    std::string(to_string(r.status())).c_str());
+      }
+      continue;
+    }
+    if (line.rfind("/transfer ", 0) == 0) {
+      // Sequencer migration from the command line.
+      const auto target =
+          static_cast<MemberId>(std::atoi(line.c_str() + 10));
+      std::mutex mu;
+      std::condition_variable cv;
+      std::optional<Status> result;
+      {
+        std::lock_guard lock(rt.mutex());
+        grp.member().transfer_sequencer(target, [&](Status s) {
+          std::lock_guard g(mu);
+          result = s;
+          cv.notify_all();
+        });
+      }
+      std::unique_lock lock(mu);
+      cv.wait_for(lock, std::chrono::seconds(5),
+                  [&] { return result.has_value(); });
+      std::printf("transfer: %s\n",
+                  result ? std::string(to_string(*result)).c_str()
+                         : "timeout");
+      continue;
+    }
+    const Status s = grp.send_to_group(Buffer(line.begin(), line.end()));
+    if (s != Status::ok) {
+      std::printf("[send failed: %s]\n", std::string(to_string(s)).c_str());
+    }
+  }
+
+  grp.leave_group();
+  rt.stop();
+  receiver.detach();  // blocked in receive; the process exits anyway
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Parallel branch-and-bound TSP on shared objects — the flagship workload
+// of Orca on Amoeba ("Parallel programming using shared objects and
+// broadcasting", ref [30]), rebuilt on this library's shared-object
+// runtime: a replicated job queue hands out partial tours, a replicated
+// integer holds the global best bound, and both are kept coherent by the
+// totally-ordered broadcast. Workers read the bound locally (free!) to
+// prune, and broadcast improvements.
+//
+//   $ ./orca_tsp [workers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "group/sim_harness.hpp"
+#include "orca/objects.hpp"
+#include "orca/shared_object.hpp"
+
+using namespace amoeba;
+using namespace amoeba::group;
+using namespace amoeba::orca;
+
+namespace {
+
+// A fixed 9-city instance (symmetric, integer distances).
+constexpr int kCities = 9;
+constexpr int kDist[kCities][kCities] = {
+    {0, 29, 82, 46, 68, 52, 72, 42, 51},
+    {29, 0, 55, 46, 42, 43, 43, 23, 23},
+    {82, 55, 0, 68, 46, 55, 23, 43, 41},
+    {46, 46, 68, 0, 82, 15, 72, 31, 62},
+    {68, 42, 46, 82, 0, 74, 23, 52, 21},
+    {52, 43, 55, 15, 74, 0, 61, 23, 55},
+    {72, 43, 23, 72, 23, 61, 0, 42, 23},
+    {42, 23, 43, 31, 52, 23, 42, 0, 33},
+    {51, 23, 41, 62, 21, 55, 23, 33, 0},
+};
+
+// A job = a partial tour (prefix of cities starting at 0).
+Buffer encode_job(const std::vector<std::uint8_t>& prefix, int cost) {
+  BufWriter w;
+  w.u32(static_cast<std::uint32_t>(cost));
+  w.bytes(prefix);
+  return std::move(w).take();
+}
+
+struct Job {
+  std::vector<std::uint8_t> prefix;
+  int cost{0};
+};
+Job decode_job(const Buffer& b) {
+  BufReader r(b);
+  Job j;
+  j.cost = static_cast<int>(r.u32());
+  const Buffer p = r.bytes();
+  j.prefix.assign(p.begin(), p.end());
+  return j;
+}
+
+/// Sequential branch-and-bound below a given prefix, pruning against the
+/// (locally read) shared bound. Returns the best complete tour found.
+int solve_subtree(const Job& job, const SharedInteger& bound) {
+  bool used[kCities] = {false};
+  for (const std::uint8_t c : job.prefix) used[c] = true;
+  int best = static_cast<int>(bound.value());
+
+  std::vector<std::uint8_t> tour = job.prefix;
+  std::function<void(int)> rec = [&](int cost) {
+    if (cost >= best) return;  // prune on the shared bound
+    if (tour.size() == kCities) {
+      const int total = cost + kDist[tour.back()][0];
+      if (total < best) best = total;
+      return;
+    }
+    for (std::uint8_t c = 1; c < kCities; ++c) {
+      if (used[c]) continue;
+      used[c] = true;
+      tour.push_back(c);
+      rec(cost + kDist[tour[tour.size() - 2]][c]);
+      tour.pop_back();
+      used[c] = false;
+    }
+  };
+  rec(job.cost);
+  return best;
+}
+
+struct Worker {
+  std::uint32_t id;
+  SharedInteger bound{1 << 20};
+  SharedJobQueue queue;
+  std::unique_ptr<SharedObjectRuntime> rt;
+  bool busy{false};
+  std::uint64_t subtrees{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t workers =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 5;
+
+  SimGroupHarness net(workers, GroupConfig{});
+  if (!net.form_group()) {
+    std::fprintf(stderr, "group formation failed\n");
+    return 1;
+  }
+
+  std::vector<std::unique_ptr<Worker>> ws;
+  for (std::size_t p = 0; p < workers; ++p) {
+    auto w = std::make_unique<Worker>();
+    w->id = static_cast<std::uint32_t>(p);
+    w->rt = std::make_unique<SharedObjectRuntime>(net.process(p).member());
+    w->rt->attach("bound", w->bound);
+    w->rt->attach("queue", w->queue);
+    ws.push_back(std::move(w));
+  }
+
+  // The worker loop, driven by deliveries: after every applied operation,
+  // an idle worker tries to claim; a worker whose claim materialized
+  // solves the subtree, publishes any better bound, and completes.
+  for (std::size_t p = 0; p < workers; ++p) {
+    Worker& w = *ws[p];
+    net.process(p).set_on_deliver([&net, &w, p](const GroupMessage& m) {
+      w.rt->on_delivery(m);
+      if (!w.busy) {
+        if (const Buffer* job_bytes = w.queue.assignment(w.id)) {
+          w.busy = true;
+          const Job job = decode_job(*job_bytes);
+          // "Compute" costs simulated CPU time proportional to the work.
+          const int before = static_cast<int>(w.bound.value());
+          const int found = solve_subtree(job, w.bound);
+          ++w.subtrees;
+          net.process(p).exec().charge(Duration::micros(500));
+          if (found < before) {
+            w.rt->write("bound", SharedInteger::op_take_min(found),
+                        [](Status) {});
+          }
+          w.rt->write("queue", SharedJobQueue::op_complete(w.id),
+                      [&w](Status) { w.busy = false; });
+        } else if (w.queue.pending() > 0) {
+          w.rt->write("queue", SharedJobQueue::op_claim(w.id), [](Status) {});
+        }
+      }
+    });
+  }
+
+  // Seed: one job per first-hop city (tours 0 -> c -> ...).
+  int seeded = 0;
+  for (std::uint8_t c = 1; c < kCities; ++c) {
+    ws[0]->rt->write("queue",
+                     SharedJobQueue::op_push(encode_job({0, c}, kDist[0][c])),
+                     [&](Status s) {
+                       if (s == Status::ok) ++seeded;
+                     });
+  }
+
+  net.run_until(
+      [&] {
+        if (seeded < kCities - 1) return false;
+        for (auto& w : ws) {
+          if (!w->queue.terminated() || w->busy) return false;
+        }
+        return true;
+      },
+      Duration::seconds(600));
+
+  std::printf("branch-and-bound TSP, %d cities, %zu workers\n", kCities,
+              workers);
+  bool agree = true;
+  for (auto& w : ws) {
+    std::printf("  worker %u: bound=%lld, subtrees solved=%llu\n", w->id,
+                static_cast<long long>(w->bound.value()),
+                (unsigned long long)w->subtrees);
+    agree = agree && w->bound.value() == ws[0]->bound.value();
+  }
+  // Verify against a straight sequential solve.
+  SharedInteger fresh{1 << 20};
+  int best = 1 << 20;
+  for (std::uint8_t c = 1; c < kCities; ++c) {
+    Job j;
+    j.prefix = {0, c};
+    j.cost = kDist[0][c];
+    fresh.install(SharedInteger{best}.snapshot());
+    best = std::min(best, solve_subtree(j, fresh));
+  }
+  std::printf("\nsequential optimum: %d — replicas agree and match: %s\n",
+              best, (agree && ws[0]->bound.value() == best) ? "YES" : "NO");
+  std::printf("simulated time: %.0f ms\n", net.engine().now().to_millis());
+  return (agree && ws[0]->bound.value() == best) ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+#include "baselines/v_system.hpp"
+
+namespace amoeba::baselines {
+
+namespace {
+enum class VType : std::uint8_t { request = 1, reply = 2 };
+constexpr std::size_t kHeader = 60;
+
+Buffer encode_v(VType type, std::uint32_t sender, std::uint32_t xid,
+                const Buffer& payload) {
+  BufWriter w(kHeader + payload.size());
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(sender);
+  w.u32(xid);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  for (std::size_t i = 13; i < kHeader; ++i) w.u8(0);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+struct VWire {
+  VType type;
+  std::uint32_t sender;
+  std::uint32_t xid;
+  Buffer payload;
+};
+
+std::optional<VWire> decode_v(std::span<const std::uint8_t> bytes) {
+  BufReader r(bytes);
+  VWire m{};
+  m.type = static_cast<VType>(r.u8());
+  m.sender = r.u32();
+  m.xid = r.u32();
+  const std::uint32_t len = r.u32();
+  (void)r.raw(kHeader - 13);
+  if (!r.ok() || r.remaining() != len) return std::nullopt;
+  const auto rest = r.rest();
+  m.payload.assign(rest.begin(), rest.end());
+  return m;
+}
+}  // namespace
+
+VProcess::VProcess(flip::FlipStack& flip, transport::Executor& exec,
+                   flip::Address my_address, flip::Address group,
+                   std::uint32_t index, Server server)
+    : flip_(flip),
+      exec_(exec),
+      my_addr_(my_address),
+      group_(group),
+      index_(index),
+      server_(std::move(server)) {
+  flip_.join_group(group_, [this](flip::Address src, flip::Address,
+                                  Buffer bytes) {
+    on_group_packet(src, std::move(bytes));
+  });
+  flip_.register_endpoint(my_addr_, [this](flip::Address src, flip::Address,
+                                           Buffer bytes) {
+    on_unicast(src, std::move(bytes));
+  });
+}
+
+VProcess::~VProcess() {
+  if (call_.has_value()) exec_.cancel_timer(call_->timer);
+  flip_.unregister_endpoint(my_addr_);
+  flip_.leave_group(group_);
+}
+
+void VProcess::group_send(Buffer request, Duration timeout, FirstReplyCb done,
+                          ReplyCb extra) {
+  // One outstanding group RPC at a time (like trans); a new call retires
+  // the previous GetReply stream.
+  if (call_.has_value()) {
+    exec_.cancel_timer(call_->timer);
+    if (!call_->first_done && call_->done) call_->done(Status::aborted);
+    call_.reset();
+  }
+  Call c;
+  c.xid = next_xid_++;
+  c.done = std::move(done);
+  c.extra = std::move(extra);
+  ++stats_.group_sends;
+  c.timer = exec_.set_timer(timeout, [this] {
+    if (!call_.has_value()) return;
+    if (!call_->first_done) {
+      ++stats_.timeouts;
+      auto cb = std::move(call_->done);
+      call_.reset();
+      if (cb) cb(Status::timeout);  // no retransmission: V is best-effort
+    }
+  });
+  call_ = std::move(c);
+  exec_.post(exec_.costs().group_send + exec_.costs().copy_time(request.size()),
+             [this, pkt = encode_v(VType::request, index_, call_->xid,
+                                   request)]() mutable {
+               flip_.send(group_, my_addr_, std::move(pkt));
+             });
+}
+
+void VProcess::on_group_packet(flip::Address src, Buffer bytes) {
+  auto m = decode_v(bytes);
+  if (!m.has_value() || m->type != VType::request) return;
+  exec_.post(exec_.costs().group_deliver +
+                 exec_.costs().copy_time(m->payload.size()),
+             [this, src, m = std::move(*m)] {
+               if (m.sender == index_) return;  // own loopback
+               if (!server_) return;
+               auto reply = server_(m.payload);
+               if (!reply.has_value()) return;
+               ++stats_.requests_served;
+               Buffer pkt = encode_v(VType::reply, index_, m.xid, *reply);
+               exec_.post(exec_.costs().group_send,
+                          [this, src, pkt = std::move(pkt)]() mutable {
+                            flip_.send(src, my_addr_, std::move(pkt));
+                          });
+             });
+}
+
+void VProcess::on_unicast(flip::Address, Buffer bytes) {
+  auto m = decode_v(bytes);
+  if (!m.has_value() || m->type != VType::reply) return;
+  exec_.post(exec_.costs().group_ack, [this, m = std::move(*m)] {
+    if (!call_.has_value() || m.xid != call_->xid) return;  // stale reply
+    if (!call_->first_done) {
+      call_->first_done = true;
+      ++stats_.first_replies;
+      exec_.cancel_timer(call_->timer);
+      if (call_->done) call_->done(Buffer{m.payload});
+    } else {
+      ++stats_.extra_replies;
+      if (call_->extra) call_->extra(m.sender, m.payload);
+    }
+  });
+}
+
+}  // namespace amoeba::baselines

@@ -1,0 +1,90 @@
+// V-kernel-style group RPC — the Section 6 starting point of the design
+// space ("the first system supporting group communication ... If a client
+// sends a request message to a process group, V tries to deliver the
+// message at all members in the group. If any one of the members of the
+// group sends a reply back, the RPC returns successfully. Additional
+// replies from other members can be collected by the client by calling
+// GetReply. Thus, the V system does not provide reliable, ordered
+// broadcasting.")
+//
+// Semantics implemented faithfully:
+//   - group_send: best-effort multicast of a request (one datagram, no
+//     retransmission, no ordering);
+//   - the call completes on the FIRST reply;
+//   - get_reply collects further replies until a timeout;
+//   - servers answer independently; nothing deduplicates or orders.
+//
+// Its role here is contrast: the tests show what "unreliable, unordered"
+// concretely means on a lossy wire, which is the gap Amoeba's group
+// primitives (and the Navaratnam-style layers the paper cites) fill.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "flip/stack.hpp"
+#include "transport/runtime.hpp"
+
+namespace amoeba::baselines {
+
+struct VStats {
+  std::uint64_t group_sends{0};
+  std::uint64_t first_replies{0};
+  std::uint64_t extra_replies{0};
+  std::uint64_t requests_served{0};
+  std::uint64_t timeouts{0};
+};
+
+/// One V process: can serve group requests and issue group RPCs.
+class VProcess {
+ public:
+  /// Server role: produce a reply for a group request (return nullopt to
+  /// stay silent — V members may simply not answer).
+  using Server = std::function<std::optional<Buffer>(const Buffer& request)>;
+  /// First-reply completion. Further replies stream to the ReplyCb.
+  using FirstReplyCb = std::function<void(Result<Buffer>)>;
+  using ReplyCb = std::function<void(std::uint32_t from, const Buffer&)>;
+
+  VProcess(flip::FlipStack& flip, transport::Executor& exec,
+           flip::Address my_address, flip::Address group,
+           std::uint32_t index, Server server = nullptr);
+  ~VProcess();
+  VProcess(const VProcess&) = delete;
+  VProcess& operator=(const VProcess&) = delete;
+
+  /// Group RPC: one unreliable multicast; completes on the first reply or
+  /// after `timeout` with Status::timeout. Later replies (until the next
+  /// group_send) go to `extra`, V's GetReply stream.
+  void group_send(Buffer request, Duration timeout, FirstReplyCb done,
+                  ReplyCb extra = nullptr);
+
+  const VStats& stats() const { return stats_; }
+
+ private:
+  void on_group_packet(flip::Address src, Buffer bytes);
+  void on_unicast(flip::Address src, Buffer bytes);
+
+  flip::FlipStack& flip_;
+  transport::Executor& exec_;
+  flip::Address my_addr_;
+  flip::Address group_;
+  std::uint32_t index_;
+  Server server_;
+  VStats stats_;
+
+  std::uint32_t next_xid_{1};
+  struct Call {
+    std::uint32_t xid{0};
+    bool first_done{false};
+    FirstReplyCb done;
+    ReplyCb extra;
+    transport::TimerId timer{transport::kInvalidTimer};
+  };
+  std::optional<Call> call_;
+};
+
+}  // namespace amoeba::baselines

@@ -1,0 +1,65 @@
+#include "common/buffer.hpp"
+
+namespace amoeba {
+
+Buffer make_pattern_buffer(std::size_t n, std::uint8_t seed) {
+  Buffer b(n);
+  std::uint8_t x = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    // xorshift-style byte mixer: cheap, full-period enough for test fills.
+    x = static_cast<std::uint8_t>(x * 167 + 13);
+    b[i] = x;
+  }
+  return b;
+}
+
+bool check_pattern_buffer(std::span<const std::uint8_t> b, std::uint8_t seed) {
+  std::uint8_t x = seed;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    x = static_cast<std::uint8_t>(x * 167 + 13);
+    if (b[i] != x) return false;
+  }
+  return true;
+}
+
+void BufWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buf_.size()) return;
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+Buffer BufReader::bytes() {
+  const std::uint32_t n = u32();
+  if (bad_ || remaining() < n) {
+    bad_ = true;
+    return {};
+  }
+  Buffer out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string BufReader::str() {
+  const std::uint32_t n = u32();
+  if (bad_ || remaining() < n) {
+    bad_ = true;
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+std::span<const std::uint8_t> BufReader::raw(std::size_t n) {
+  if (bad_ || remaining() < n) {
+    bad_ = true;
+    return {};
+  }
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace amoeba

@@ -1,0 +1,127 @@
+// Byte buffers and bounds-checked cursor serialization.
+//
+// Every protocol header in the stack (Ethernet framing metadata, FLIP,
+// group, RPC) is encoded with `BufWriter` and decoded with `BufReader`.
+// Encoding is little-endian and explicit-width; a decode past the end turns
+// the reader bad instead of invoking UB, so garbled packets are rejected
+// rather than trusted.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amoeba {
+
+/// Owned, contiguous byte payload. A thin alias: protocol code moves these
+/// around; the simulator may carry only the *size* of user data (payload
+/// bytes are still materialized so checksum/garble injection work).
+using Buffer = std::vector<std::uint8_t>;
+
+/// Make a buffer of `n` bytes with a deterministic fill pattern (useful for
+/// tests and workload generators that want verifiable payloads).
+Buffer make_pattern_buffer(std::size_t n, std::uint8_t seed = 0xA5);
+
+/// Returns true iff `b` matches the pattern `make_pattern_buffer` produces.
+bool check_pattern_buffer(std::span<const std::uint8_t> b,
+                          std::uint8_t seed = 0xA5);
+
+/// Append-only little-endian encoder over an owned Buffer.
+class BufWriter {
+ public:
+  BufWriter() = default;
+  /// Reserve capacity up front to avoid reallocation in hot paths.
+  explicit BufWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+
+  /// Raw bytes, no length prefix (use `bytes` for self-describing fields).
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  /// u32 length prefix followed by the bytes.
+  void bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    raw(data);
+  }
+  /// u32 length prefix followed by UTF-8 bytes.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  /// Overwrite a previously written u32 at `offset` (for patch-up lengths).
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+  Buffer take() && { return std::move(buf_); }
+  std::span<const std::uint8_t> view() const noexcept { return buf_; }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Buffer buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte span.
+///
+/// Any read past the end sets the *bad* flag and returns zeros; callers
+/// check `ok()` once after decoding a full header instead of after each
+/// field. This mirrors how the kernel validates a packet before acting.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return read_le<std::uint8_t>(); }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(read_le<std::uint64_t>()); }
+
+  /// Read a u32-length-prefixed byte field into an owned Buffer.
+  Buffer bytes();
+  /// Read a u32-length-prefixed string.
+  std::string str();
+  /// Borrow `n` raw bytes without copying; empty span (and bad) if short.
+  std::span<const std::uint8_t> raw(std::size_t n);
+  /// Remaining unread bytes.
+  std::span<const std::uint8_t> rest() const {
+    return bad_ ? std::span<const std::uint8_t>{} : data_.subspan(pos_);
+  }
+
+  bool ok() const noexcept { return !bad_; }
+  std::size_t remaining() const noexcept { return bad_ ? 0 : data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T read_le() {
+    if (bad_ || data_.size() - pos_ < sizeof(T)) {
+      bad_ = true;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+  bool bad_{false};
+};
+
+}  // namespace amoeba

@@ -1,0 +1,32 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace amoeba {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const std::uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace amoeba

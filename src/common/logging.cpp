@@ -1,0 +1,25 @@
+#include "common/logging.hpp"
+
+namespace amoeba::log_detail {
+
+LogLevel& threshold() noexcept {
+  static LogLevel level = LogLevel::warn;
+  return level;
+}
+
+void emit(LogLevel level, const char* tag, const char* fmt, std::va_list ap) {
+  const char* name = "?";
+  switch (level) {
+    case LogLevel::trace: name = "TRACE"; break;
+    case LogLevel::debug: name = "DEBUG"; break;
+    case LogLevel::info: name = "INFO "; break;
+    case LogLevel::warn: name = "WARN "; break;
+    case LogLevel::error: name = "ERROR"; break;
+    case LogLevel::off: return;
+  }
+  std::fprintf(stderr, "[%s] %-10s ", name, tag);
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace amoeba::log_detail

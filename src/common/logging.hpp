@@ -1,0 +1,46 @@
+// Minimal leveled logging.
+//
+// Protocol modules log through this sink so tests can silence or capture
+// output. Formatting is printf-style; disabled levels cost one branch.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace amoeba {
+
+enum class LogLevel : int { trace = 0, debug, info, warn, error, off };
+
+namespace log_detail {
+LogLevel& threshold() noexcept;
+void emit(LogLevel level, const char* tag, const char* fmt, std::va_list ap);
+}  // namespace log_detail
+
+/// Set the global log threshold; messages below it are dropped.
+inline void set_log_level(LogLevel level) noexcept {
+  log_detail::threshold() = level;
+}
+inline LogLevel log_level() noexcept { return log_detail::threshold(); }
+
+// clang-format off
+#define AMOEBA_DEFINE_LOG_FN(name, level)                                     \
+  inline void name(const char* tag, const char* fmt, ...)                     \
+      __attribute__((format(printf, 2, 3)));                                  \
+  inline void name(const char* tag, const char* fmt, ...) {                   \
+    if (log_detail::threshold() > level) return;                              \
+    std::va_list ap;                                                          \
+    va_start(ap, fmt);                                                        \
+    log_detail::emit(level, tag, fmt, ap);                                    \
+    va_end(ap);                                                               \
+  }
+// clang-format on
+
+AMOEBA_DEFINE_LOG_FN(log_trace, LogLevel::trace)
+AMOEBA_DEFINE_LOG_FN(log_debug, LogLevel::debug)
+AMOEBA_DEFINE_LOG_FN(log_info, LogLevel::info)
+AMOEBA_DEFINE_LOG_FN(log_warn, LogLevel::warn)
+AMOEBA_DEFINE_LOG_FN(log_error, LogLevel::error)
+
+#undef AMOEBA_DEFINE_LOG_FN
+
+}  // namespace amoeba

@@ -1,0 +1,98 @@
+// Error handling for the Amoeba library.
+//
+// The public API mirrors Amoeba's kernel call convention: every primitive
+// returns a status, and out-parameters carry data. Internally we use
+// `Result<T>`, a small expected-like type (the toolchain's <expected> is
+// available in C++23 only in parts; we keep a dependency-free version).
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace amoeba {
+
+/// Status codes for all public primitives. Modeled on the Amoeba standard
+/// error set (std.h) restricted to what the group/RPC layers actually raise.
+enum class Status : int {
+  ok = 0,
+  /// Generic failure (catch-all, avoid where a specific code exists).
+  failure,
+  /// Operation timed out (peer unresponsive past the retry budget).
+  timeout,
+  /// Caller is not a member of the group it addressed.
+  not_member,
+  /// The group no longer exists or was never created.
+  no_such_group,
+  /// Capacity exhausted (too many members, message too large, ...).
+  overflow,
+  /// The group is recovering; retry after ResetGroup completes.
+  group_recovering,
+  /// Recovery could not assemble the required quorum of survivors.
+  quorum_unreachable,
+  /// Malformed or garbled message (checksum mismatch).
+  bad_message,
+  /// The operation was aborted (process leaving / shutting down).
+  aborted,
+  /// Invalid argument from the caller.
+  invalid_argument,
+};
+
+/// Human-readable name for a status code (stable, for logs and tests).
+constexpr std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::ok: return "ok";
+    case Status::failure: return "failure";
+    case Status::timeout: return "timeout";
+    case Status::not_member: return "not_member";
+    case Status::no_such_group: return "no_such_group";
+    case Status::overflow: return "overflow";
+    case Status::group_recovering: return "group_recovering";
+    case Status::quorum_unreachable: return "quorum_unreachable";
+    case Status::bad_message: return "bad_message";
+    case Status::aborted: return "aborted";
+    case Status::invalid_argument: return "invalid_argument";
+  }
+  return "unknown";
+}
+
+/// Value-or-status. `Result<T>` holds either a `T` or a non-ok `Status`.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status s) : state_(s) { assert(s != Status::ok); }  // NOLINT
+
+  bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  Status status() const noexcept {
+    return ok() ? Status::ok : std::get<Status>(state_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> state_;
+};
+
+}  // namespace amoeba

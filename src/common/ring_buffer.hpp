@@ -1,0 +1,73 @@
+// Fixed-capacity ring buffer.
+//
+// Used for the sequencer's history buffer (128 messages in the paper's
+// configuration) and the simulated Lance NIC's 32-packet receive ring.
+// Capacity is a construction-time parameter; push on a full ring is an
+// explicit, observable failure (`try_push` returns false) because NIC
+// overflow *is* one of the behaviours the paper measures (Figure 4's
+// throughput collapse at 4 KB messages).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace amoeba {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == slots_.size(); }
+
+  /// Append at the tail. Returns false (and drops `v`) when full.
+  bool try_push(T v) {
+    if (full()) return false;
+    slots_[(head_ + size_) % slots_.size()] = std::move(v);
+    ++size_;
+    return true;
+  }
+
+  /// Remove and return the head element; nullopt when empty.
+  std::optional<T> try_pop() {
+    if (empty()) return std::nullopt;
+    T v = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return v;
+  }
+
+  /// Peek the head element without removing it.
+  const T* front() const { return empty() ? nullptr : &slots_[head_]; }
+  T* front() { return empty() ? nullptr : &slots_[head_]; }
+
+  /// Random access from the head: at(0) == front.
+  const T& at(std::size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+  T& at(std::size_t i) {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace amoeba

@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in the simulator — Ethernet backoff, fault
+// injection, workload think times — draws from an explicitly seeded
+// xoshiro256** stream so that every experiment and property test is
+// reproducible from its seed. No global RNG state anywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace amoeba {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Debiased multiply-shift (Lemire).
+    while (true) {
+      const std::uint64_t x = next();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fork an independent stream (for per-node RNGs derived from one seed).
+  Rng split() noexcept { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace amoeba

@@ -1,0 +1,39 @@
+// Sequence-number arithmetic (RFC 1982 style serial numbers).
+//
+// The sequencer stamps every group message with a 32-bit sequence number.
+// A long-lived group wraps; comparisons therefore use serial arithmetic so
+// that `seq_lt(0xFFFFFFFF, 1)` holds. The history buffer (128 entries in
+// the paper) is tiny relative to the 2^31 comparison window, so wraparound
+// is always unambiguous in practice.
+#pragma once
+
+#include <cstdint>
+
+namespace amoeba {
+
+using SeqNum = std::uint32_t;
+
+/// a < b in serial arithmetic.
+constexpr bool seq_lt(SeqNum a, SeqNum b) noexcept {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+/// a <= b in serial arithmetic.
+constexpr bool seq_le(SeqNum a, SeqNum b) noexcept {
+  return a == b || seq_lt(a, b);
+}
+/// a > b in serial arithmetic.
+constexpr bool seq_gt(SeqNum a, SeqNum b) noexcept { return seq_lt(b, a); }
+/// a >= b in serial arithmetic.
+constexpr bool seq_ge(SeqNum a, SeqNum b) noexcept { return seq_le(b, a); }
+
+/// Signed distance b - a (how far ahead b is of a). Well-defined when the
+/// true distance is within ±2^31.
+constexpr std::int32_t seq_distance(SeqNum a, SeqNum b) noexcept {
+  return static_cast<std::int32_t>(b - a);
+}
+
+/// min/max under serial ordering.
+constexpr SeqNum seq_min(SeqNum a, SeqNum b) noexcept { return seq_lt(a, b) ? a : b; }
+constexpr SeqNum seq_max(SeqNum a, SeqNum b) noexcept { return seq_lt(a, b) ? b : a; }
+
+}  // namespace amoeba

@@ -1,0 +1,32 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+namespace amoeba {
+
+void Histogram::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::percentile(double p) {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::summary() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.1f p50=%.1f p99=%.1f min=%.1f max=%.1f",
+                count(), mean(), percentile(50), percentile(99), min(), max());
+  return buf;
+}
+
+}  // namespace amoeba

@@ -1,0 +1,104 @@
+// Core scalar types shared by every Amoeba module.
+//
+// The simulator and the protocol stack agree on a single representation of
+// time: a signed 64-bit count of nanoseconds. The paper reports results in
+// microseconds and milliseconds; helpers below convert without loss.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace amoeba {
+
+/// Virtual (or real) time in nanoseconds since an arbitrary epoch.
+///
+/// A strong type rather than a raw integer so that times and durations are
+/// not accidentally mixed with sequence numbers or byte counts.
+struct Time {
+  std::int64_t ns{0};
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  static constexpr Time zero() noexcept { return Time{0}; }
+  /// Sentinel "never": larger than any reachable simulation time.
+  static constexpr Time infinity() noexcept {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns) / 1e9;
+  }
+  constexpr double to_micros() const noexcept {
+    return static_cast<double>(ns) / 1e3;
+  }
+  constexpr double to_millis() const noexcept {
+    return static_cast<double>(ns) / 1e6;
+  }
+};
+
+/// A span of time in nanoseconds. Distinct from `Time` (a point).
+struct Duration {
+  std::int64_t ns{0};
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  static constexpr Duration zero() noexcept { return Duration{0}; }
+  static constexpr Duration nanos(std::int64_t n) noexcept { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t us) noexcept {
+    return Duration{us * 1'000};
+  }
+  static constexpr Duration millis(std::int64_t ms) noexcept {
+    return Duration{ms * 1'000'000};
+  }
+  static constexpr Duration seconds(std::int64_t s) noexcept {
+    return Duration{s * 1'000'000'000};
+  }
+  /// Duration from a floating-point number of microseconds (cost-model math).
+  static constexpr Duration from_micros_f(double us) noexcept {
+    return Duration{static_cast<std::int64_t>(us * 1e3)};
+  }
+
+  constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ns) / 1e9;
+  }
+  constexpr double to_micros() const noexcept {
+    return static_cast<double>(ns) / 1e3;
+  }
+  constexpr double to_millis() const noexcept {
+    return static_cast<double>(ns) / 1e6;
+  }
+};
+
+constexpr Time operator+(Time t, Duration d) noexcept { return Time{t.ns + d.ns}; }
+constexpr Time operator-(Time t, Duration d) noexcept { return Time{t.ns - d.ns}; }
+constexpr Duration operator-(Time a, Time b) noexcept { return Duration{a.ns - b.ns}; }
+constexpr Duration operator+(Duration a, Duration b) noexcept {
+  return Duration{a.ns + b.ns};
+}
+constexpr Duration operator-(Duration a, Duration b) noexcept {
+  return Duration{a.ns - b.ns};
+}
+constexpr Duration operator*(Duration d, std::int64_t k) noexcept {
+  return Duration{d.ns * k};
+}
+constexpr Duration operator*(std::int64_t k, Duration d) noexcept {
+  return Duration{d.ns * k};
+}
+constexpr Duration operator/(Duration d, std::int64_t k) noexcept {
+  return Duration{d.ns / k};
+}
+constexpr Time& operator+=(Time& t, Duration d) noexcept {
+  t.ns += d.ns;
+  return t;
+}
+constexpr Duration& operator+=(Duration& a, Duration b) noexcept {
+  a.ns += b.ns;
+  return a;
+}
+
+/// Identifies a simulated processor / a runtime endpoint. Dense small ints.
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+}  // namespace amoeba

@@ -1,0 +1,45 @@
+// FLIP addresses.
+//
+// The defining property of FLIP (Kaashoek et al., ACM TOCS 1993) is that an
+// address identifies a *process or a group of processes*, not a host. The
+// network layer finds where an address currently lives (the "locate"
+// broadcast); processes can migrate and groups can span machines without
+// the upper layers noticing. We model an address as an opaque 64-bit
+// identifier drawn from a private space per allocation site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace amoeba::flip {
+
+struct Address {
+  std::uint64_t id{0};
+
+  constexpr bool is_null() const noexcept { return id == 0; }
+  friend constexpr auto operator<=>(const Address&, const Address&) = default;
+};
+
+constexpr Address kNullAddress{};
+
+/// Deterministic address construction helpers. High byte tags the kind so
+/// debug logs are readable; the protocol treats addresses as opaque.
+constexpr Address process_address(std::uint64_t n) noexcept {
+  return Address{(0x01ULL << 56) | n};
+}
+constexpr Address group_address(std::uint64_t n) noexcept {
+  return Address{(0x02ULL << 56) | n};
+}
+constexpr bool is_group_address(Address a) noexcept {
+  return (a.id >> 56) == 0x02;
+}
+
+}  // namespace amoeba::flip
+
+template <>
+struct std::hash<amoeba::flip::Address> {
+  std::size_t operator()(const amoeba::flip::Address& a) const noexcept {
+    // Fibonacci scramble: ids are often sequential.
+    return static_cast<std::size_t>(a.id * 0x9E3779B97F4A7C15ULL);
+  }
+};

@@ -1,0 +1,68 @@
+#include "flip/packet.hpp"
+
+#include "common/crc32.hpp"
+
+namespace amoeba::flip {
+
+namespace {
+constexpr std::uint8_t kVersion = 1;
+// Fixed fields: version(1) type(1) dst(8) src(8) msg_id(4) total_len(4)
+// frag_offset(4) frag_len(4) hop_count(1) = 35; padded to
+// kEncodedHeaderBytes.
+constexpr std::size_t kFixedFields = 35;
+static_assert(kFixedFields <= kEncodedHeaderBytes);
+}  // namespace
+
+Buffer encode_packet(const PacketHeader& h,
+                     std::span<const std::uint8_t> frag) {
+  BufWriter w(kEncodedHeaderBytes + frag.size() + 4);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(h.type));
+  w.u64(h.dst.id);
+  w.u64(h.src.id);
+  w.u32(h.msg_id);
+  w.u32(h.total_len);
+  w.u32(h.frag_offset);
+  w.u32(static_cast<std::uint32_t>(frag.size()));
+  w.u8(h.hop_count);
+  for (std::size_t i = kFixedFields; i < kEncodedHeaderBytes; ++i) w.u8(0);
+  w.raw(frag);
+  const std::uint32_t crc = crc32(w.view());
+  w.u32(crc);
+  return std::move(w).take();
+}
+
+std::optional<DecodedPacket> decode_packet(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEncodedHeaderBytes + 4) return std::nullopt;
+  const auto body = frame.first(frame.size() - 4);
+  BufReader tail(frame.subspan(frame.size() - 4));
+  if (tail.u32() != crc32(body)) return std::nullopt;
+
+  BufReader r(body);
+  const std::uint8_t version = r.u8();
+  const std::uint8_t type = r.u8();
+  DecodedPacket out;
+  out.header.type = static_cast<PacketType>(type);
+  out.header.dst = Address{r.u64()};
+  out.header.src = Address{r.u64()};
+  out.header.msg_id = r.u32();
+  out.header.total_len = r.u32();
+  out.header.frag_offset = r.u32();
+  const std::uint32_t frag_len = r.u32();
+  out.header.hop_count = r.u8();
+  (void)r.raw(kEncodedHeaderBytes - kFixedFields);  // padding
+  if (!r.ok() || version != kVersion) return std::nullopt;
+  if (type < 1 || type > 4) return std::nullopt;
+  if (r.remaining() != frag_len) return std::nullopt;
+  const auto frag = r.rest();
+  out.fragment.assign(frag.begin(), frag.end());
+  // Reassembly sanity: the fragment must lie inside the message.
+  if (out.header.frag_offset + frag_len < out.header.frag_offset ||
+      out.header.frag_offset + frag_len > out.header.total_len) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace amoeba::flip

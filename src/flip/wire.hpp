@@ -1,0 +1,28 @@
+// Wire-accounting constants, matching the paper's header budget:
+// "116 is the number of header bytes: 14 bytes for the Ethernet header,
+//  2 bytes flow control, 40 bytes for the FLIP header, 28 bytes for the
+//  group header, and 32 bytes for the Amoeba user header."
+//
+// The simulator bills wire time for these accounting sizes regardless of
+// how compactly our C++ structs actually serialize, so message-size sweeps
+// reproduce the paper's byte counts exactly.
+#pragma once
+
+#include <cstddef>
+
+namespace amoeba::flip {
+
+/// Ethernet MAC header + the 2 flow-control bytes (charged by the link).
+constexpr std::size_t kEthHeaderBytes = 16;
+/// FLIP packet header.
+constexpr std::size_t kFlipHeaderBytes = 40;
+/// Group protocol header.
+constexpr std::size_t kGroupHeaderBytes = 28;
+/// Amoeba user header carried on application messages.
+constexpr std::size_t kUserHeaderBytes = 32;
+/// Everything above a user payload byte: 116.
+constexpr std::size_t kTotalHeaderBytes =
+    kEthHeaderBytes + kFlipHeaderBytes + kGroupHeaderBytes + kUserHeaderBytes;
+static_assert(kTotalHeaderBytes == 116);
+
+}  // namespace amoeba::flip

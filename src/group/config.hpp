@@ -1,0 +1,98 @@
+// Tunables of the group protocol.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/seqnum.hpp"
+#include "common/types.hpp"
+
+namespace amoeba::group {
+
+/// Which broadcast method SendToGroup uses (Section 3.1).
+enum class Method : std::uint8_t {
+  /// Choose by message size: small messages PB (fewer interrupts), large
+  /// messages BB (half the bandwidth). This is what the Amoeba kernel does
+  /// ("switches dynamically between the PB and BB methods depending on
+  /// message size").
+  dynamic = 0,
+  pb,  // force point-to-point -> sequencer -> broadcast
+  bb,  // force broadcast -> sequencer accept broadcast
+};
+
+struct GroupConfig {
+  /// Resilience degree r: SendToGroup returns only when >= r other kernels
+  /// hold the message, so it survives any r member crashes (Section 3.1).
+  std::uint32_t resilience = 0;
+
+  Method method = Method::dynamic;
+  /// dynamic: messages strictly larger than this use BB. Default: what
+  /// still fits one Ethernet fragment's user payload.
+  std::size_t bb_threshold = 1398;
+
+  /// History buffer length in messages (the paper's setup used 128).
+  std::size_t history_size = 128;
+  /// First sequence number assigned by a fresh group. Default 0; tests
+  /// set values near 2^32 to exercise serial-number wraparound.
+  SeqNum first_seq = 0;
+  /// Largest application message.
+  std::size_t max_message = 64 * 1024;
+
+  // --- Sender retransmission ---------------------------------------------
+  Duration send_retry = Duration::millis(100);
+  int send_retries = 5;
+  /// EXTENSION (the Section 5 "nonblocking primitives" discussion): how
+  /// many sends one member may have in flight. 1 = the paper's blocking
+  /// semantics. With k > 1 the sequencer still enforces per-sender FIFO
+  /// (requests are sequenced in msg_id order, buffering gaps), so the
+  /// ordering guarantees are unchanged; completions fire in send order.
+  int max_outstanding = 1;
+
+  // --- Negative acknowledgements ------------------------------------------
+  /// Retry cadence while a gap persists.
+  Duration nack_retry = Duration::millis(25);
+  /// How many missing messages one NACK may ask for.
+  std::uint32_t nack_batch = 16;
+
+  // --- Join -----------------------------------------------------------------
+  Duration join_retry = Duration::millis(100);
+  int join_retries = 10;
+
+  // --- History trimming / failure detection --------------------------------
+  /// Members proactively report their delivery horizon this often even
+  /// when silent (piggybacking covers the active case).
+  Duration status_interval = Duration::millis(250);
+  /// When the history is >= 3/4 full the sequencer polls laggards; after
+  /// `status_retries` unanswered polls a member is declared dead and
+  /// expelled ("if after a certain number of trials a process does not
+  /// respond, the process is declared dead", Section 2.1).
+  Duration status_poll = Duration::millis(100);
+  int status_retries = 4;
+  /// Expel unresponsive members automatically (sequencer-side detector).
+  bool auto_expel = true;
+
+  // --- Recovery (ResetGroup) -------------------------------------------------
+  Duration invite_interval = Duration::millis(100);
+  int invite_retries = 4;
+  Duration retrieve_timeout = Duration::millis(200);
+  int result_rebroadcasts = 3;
+
+  // --- Multicast flow control (EXTENSION) -----------------------------------
+  // The paper leaves multi-packet flow control open ("it is not
+  // immediately clear how these should be extended to multicast
+  // communication", Section 4) and shows the consequence: Figure 4's
+  // throughput collapse when concurrent multi-fragment messages overflow
+  // the sequencer's 32-frame Lance ring. This scheme closes the gap: a
+  // sender whose message exceeds `fc_threshold` bytes first requests a
+  // transmission slot (RTS); the sequencer grants at most `fc_slots`
+  // concurrently (CTS), releasing each slot when the message is
+  // sequenced. Small messages are unaffected.
+  bool flow_control = false;
+  /// Messages strictly larger than this need a grant (default: two
+  /// Ethernet fragments' worth of user payload).
+  std::size_t fc_threshold = 2 * 1398;
+  /// Concurrent large transfers the sequencer admits.
+  int fc_slots = 2;
+};
+
+}  // namespace amoeba::group

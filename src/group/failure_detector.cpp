@@ -1,0 +1,46 @@
+#include "group/failure_detector.hpp"
+
+namespace amoeba::group {
+
+void FailureDetector::suspect(MemberId member) {
+  const auto [it, fresh] = suspects_.try_emplace(member, 0);
+  if (!fresh) return;  // already under suspicion; the timer drives it
+  ++it->second;
+  if (cbs_.probe) cbs_.probe(member);
+  arm();
+}
+
+void FailureDetector::reset() {
+  suspects_.clear();
+  exec_.cancel_timer(timer_);
+  timer_ = transport::kInvalidTimer;
+}
+
+void FailureDetector::arm() {
+  if (timer_ != transport::kInvalidTimer) return;
+  timer_ = exec_.set_timer(poll_interval_, [this] { tick(); });
+}
+
+void FailureDetector::tick() {
+  timer_ = transport::kInvalidTimer;
+  // Collect the dead first: declare_dead may re-enter (an expel can
+  // change the view and call back into forget/clear).
+  std::vector<MemberId> dead;
+  for (auto& [member, trials] : suspects_) {
+    if (trials >= max_trials_) {
+      dead.push_back(member);
+    } else {
+      ++trials;
+      if (cbs_.probe) cbs_.probe(member);
+    }
+  }
+  for (const MemberId m : dead) {
+    // An earlier verdict's callback may have cleared/forgotten this one
+    // (view changes re-enter); only still-suspected members die.
+    if (suspects_.erase(m) == 0) continue;
+    if (cbs_.declare_dead) cbs_.declare_dead(m);
+  }
+  if (!suspects_.empty()) arm();
+}
+
+}  // namespace amoeba::group

@@ -1,0 +1,975 @@
+// GroupMember: lifecycle, sender side, and receiver side.
+// The sequencer role lives in sequencer.cpp; recovery in recovery.cpp.
+#include "group/member.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace amoeba::group {
+
+GroupMember::GroupMember(flip::FlipStack& flip, transport::Executor& exec,
+                         flip::Address my_address, GroupConfig config,
+                         Callbacks cbs)
+    : flip_(flip),
+      exec_(exec),
+      my_addr_(my_address),
+      cfg_(config),
+      cbs_(std::move(cbs)),
+      detector_(exec,
+                FailureDetector::Callbacks{
+                    .probe =
+                        [this](MemberId suspect) {
+                          if (!i_am_sequencer()) return;
+                          const MemberInfo* info = find_member(suspect);
+                          if (info == nullptr) return;
+                          ++stats_.status_polls;
+                          WireMsg req;
+                          req.type = WireType::status_req;
+                          req.sender = my_id_;
+                          req.piggyback = next_deliver_;
+                          send_to_address(info->address, std::move(req));
+                        },
+                    .declare_dead =
+                        [this](MemberId suspect) {
+                          if (!i_am_sequencer() || !cfg_.auto_expel) return;
+                          const MemberInfo* info = find_member(suspect);
+                          if (info == nullptr) return;
+                          MembershipChange c;
+                          c.member = suspect;
+                          c.address = info->address;
+                          ++stats_.expels_issued;
+                          seq_issue_membership(MessageKind::expel, c);
+                        },
+                }) {
+  detector_.configure(config.status_poll, config.status_retries);
+  flip_.register_endpoint(my_addr_, [this](flip::Address src, flip::Address,
+                                           Buffer bytes) {
+    on_member_packet(src, std::move(bytes));
+  });
+}
+
+GroupMember::~GroupMember() {
+  exec_.cancel_timer(nack_timer_);
+  exec_.cancel_timer(status_timer_);
+  exec_.cancel_timer(join_timer_);
+  exec_.cancel_timer(tentative_sweep_timer_);
+  if (recovery_.has_value()) exec_.cancel_timer(recovery_->timer);
+  for (Outgoing& o : outs_) exec_.cancel_timer(o.timer);
+  flip_.unregister_endpoint(my_addr_);
+  if (!gaddr_.is_null()) flip_.leave_group(gaddr_);
+}
+
+// --------------------------------------------------------------------------
+// Lifecycle
+// --------------------------------------------------------------------------
+
+void GroupMember::create_group(flip::Address group, StatusCb done) {
+  if (state_ != State::idle || !flip::is_group_address(group)) {
+    done(Status::invalid_argument);
+    return;
+  }
+  gaddr_ = group;
+  inc_ = 0;
+  my_id_ = 0;
+  seq_id_ = 0;
+  next_member_id_ = 1;
+  members_ = {MemberInfo{my_id_, my_addr_}};
+  next_deliver_ = cfg_.first_seq;
+  next_assign_ = cfg_.first_seq;
+  hist_base_ = cfg_.first_seq;
+  horizon_.clear();
+  horizon_[my_id_] = cfg_.first_seq;
+  state_ = State::running;
+  flip_.join_group(gaddr_, [this](flip::Address src, flip::Address,
+                                  Buffer bytes) {
+    on_group_packet(src, std::move(bytes));
+  });
+  start_status_timer();
+  install_view(false);
+  done(Status::ok);
+}
+
+void GroupMember::join_group(flip::Address group, StatusCb done) {
+  if (state_ != State::idle || !flip::is_group_address(group)) {
+    done(Status::invalid_argument);
+    return;
+  }
+  gaddr_ = group;
+  state_ = State::joining;
+  join_done_ = std::move(done);
+  join_attempts_ = 0;
+  on_join_timer();
+}
+
+void GroupMember::on_join_timer() {
+  if (state_ != State::joining) return;
+  if (join_attempts_++ >= cfg_.join_retries) {
+    state_ = State::idle;
+    auto done = std::move(join_done_);
+    join_done_ = nullptr;
+    if (done) done(Status::timeout);
+    return;
+  }
+  WireMsg m;
+  m.type = WireType::join_req;
+  m.addr = my_addr_;
+  // Reaches the sequencer via the group's multicast address; we are not a
+  // member yet, so we cannot unicast (we know nobody).
+  flip_.send(gaddr_, my_addr_, encode_wire(m));
+  join_timer_ = exec_.set_timer(cfg_.join_retry, [this] { on_join_timer(); });
+}
+
+void GroupMember::finish_join(const Snapshot& snap) {
+  if (state_ != State::joining) return;
+  exec_.cancel_timer(join_timer_);
+  inc_ = snap.incarnation;
+  my_id_ = snap.your_id;
+  seq_id_ = snap.sequencer;
+  next_member_id_ = snap.next_member_id;
+  members_ = snap.members;
+  std::sort(members_.begin(), members_.end(),
+            [](const MemberInfo& a, const MemberInfo& b) { return a.id < b.id; });
+  next_deliver_ = snap.next_seq;
+  hist_base_ = snap.next_seq;
+  history_.clear();
+  state_ = State::running;
+  flip_.join_group(gaddr_, [this](flip::Address src, flip::Address,
+                                  Buffer bytes) {
+    on_group_packet(src, std::move(bytes));
+  });
+  start_status_timer();
+  install_view(false);
+  auto done = std::move(join_done_);
+  join_done_ = nullptr;
+  if (done) done(Status::ok);
+}
+
+void GroupMember::leave_group(StatusCb done) {
+  if (state_ != State::running) {
+    // Leaving a failed/recovering group is a purely local matter.
+    if (state_ == State::failed || state_ == State::recovering) {
+      abandon_recovery();
+      state_ = State::left;
+      flip_.leave_group(gaddr_);
+      done(Status::ok);
+      return;
+    }
+    done(Status::invalid_argument);
+    return;
+  }
+  leave_done_ = std::move(done);
+  leaving_ = true;
+  if (i_am_sequencer()) {
+    // Hand off once every survivor has everything; checked on each
+    // piggyback update and status reply.
+    check_sequencer_handoff();
+  } else {
+    WireMsg m;
+    m.type = WireType::leave_req;
+    m.sender = my_id_;
+    m.piggyback = next_deliver_;
+    send_to_sequencer(std::move(m));
+    // Re-request with the send-retry cadence until our leave is ordered.
+    auto retry = std::make_shared<std::function<void()>>();
+    *retry = [this, retry] {
+      if (!leaving_ || state_ != State::running || i_am_sequencer()) return;
+      WireMsg m2;
+      m2.type = WireType::leave_req;
+      m2.sender = my_id_;
+      m2.piggyback = next_deliver_;
+      send_to_sequencer(std::move(m2));
+      join_timer_ = exec_.set_timer(cfg_.send_retry, *retry);
+    };
+    join_timer_ = exec_.set_timer(cfg_.send_retry, *retry);
+  }
+}
+
+GroupInfo GroupMember::info() const {
+  GroupInfo g;
+  g.group = gaddr_;
+  g.incarnation = inc_;
+  g.my_id = my_id_;
+  g.sequencer = seq_id_;
+  g.resilience = cfg_.resilience;
+  g.next_seq = next_deliver_;
+  g.members = members_;
+  return g;
+}
+
+std::optional<flip::Address> GroupMember::member_address(MemberId id) const {
+  const MemberInfo* m = find_member(id);
+  if (m == nullptr) return std::nullopt;
+  return m->address;
+}
+
+const MemberInfo* GroupMember::find_member(MemberId id) const {
+  for (const MemberInfo& m : members_) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+const MemberInfo* GroupMember::find_member_by_addr(
+    const flip::Address& a) const {
+  for (const MemberInfo& m : members_) {
+    if (m.address == a) return &m;
+  }
+  return nullptr;
+}
+
+void GroupMember::install_view(bool from_recovery) {
+  if (cbs_.on_view) {
+    ViewChange v;
+    v.incarnation = inc_;
+    v.sequencer = seq_id_;
+    v.members = members_;
+    v.from_recovery = from_recovery;
+    cbs_.on_view(v);
+  }
+  // A sender whose request was in flight re-targets the (possibly new)
+  // sequencer; duplicate suppression makes the re-send idempotent. A new
+  // sequencer holds no flow-control state, so large messages re-request.
+  if (!outs_.empty() && state_ == State::running) {
+    transmit_all_outstanding();
+  }
+}
+
+void GroupMember::enter_failed(Status why) {
+  if (state_ == State::failed || state_ == State::left) return;
+  state_ = State::failed;
+  exec_.cancel_timer(status_timer_);
+  status_timer_ = transport::kInvalidTimer;
+  exec_.cancel_timer(nack_timer_);
+  nack_timer_ = transport::kInvalidTimer;
+  detector_.reset();
+  auto outstanding = std::move(outs_);
+  outs_.clear();
+  for (Outgoing& o : outstanding) {
+    exec_.cancel_timer(o.timer);
+    if (o.done) o.done(why);
+  }
+  auto queued = std::move(send_queue_);
+  send_queue_.clear();
+  for (auto& [data, done] : queued) {
+    if (done) done(Status::aborted);
+  }
+  if (cbs_.on_fault) cbs_.on_fault(why);
+}
+
+// --------------------------------------------------------------------------
+// Wire plumbing
+// --------------------------------------------------------------------------
+
+void GroupMember::on_group_packet(flip::Address src, Buffer bytes) {
+  auto m = decode_wire(bytes);
+  if (!m.has_value()) return;
+  exec_.post(dispatch_cost(*m), [this, src, m = std::move(*m)]() mutable {
+    dispatch(src, std::move(m));
+  });
+}
+
+void GroupMember::on_member_packet(flip::Address src, Buffer bytes) {
+  auto m = decode_wire(bytes);
+  if (!m.has_value()) return;
+  exec_.post(dispatch_cost(*m), [this, src, m = std::move(*m)]() mutable {
+    dispatch(src, std::move(m));
+  });
+}
+
+Duration GroupMember::dispatch_cost(const WireMsg& m) const {
+  const auto& c = exec_.costs();
+  switch (m.type) {
+    case WireType::data_pb:
+    case WireType::data_bb:
+      // Request processing at the sequencer: ordering work plus the
+      // per-member bookkeeping and the copy into the history buffer.
+      return c.group_sequence +
+             c.group_per_member * static_cast<std::int64_t>(members_.size()) +
+             c.copy_time(m.payload.size());
+    case WireType::seq_data:
+    case WireType::retransmit:
+      // Receiver-side group work: copy from the Lance into the history
+      // buffer plus protocol processing.
+      return c.group_deliver + c.copy_time(m.payload.size());
+    case WireType::seq_accept:
+      return c.group_deliver;
+    case WireType::resil_ack:
+      return c.group_ack;
+    default:
+      return c.group_deliver;
+  }
+}
+
+void GroupMember::send_to_sequencer(WireMsg m) {
+  m.incarnation = inc_;
+  if (trace_) trace_(true, m, exec_.now());
+  if (i_am_sequencer()) {
+    // Local short-circuit through the same dispatch path (and the same
+    // CPU cost) as a remote request.
+    exec_.post(dispatch_cost(m), [this, m = std::move(m)]() mutable {
+      dispatch(my_addr_, std::move(m));
+    });
+    return;
+  }
+  const MemberInfo* seq = find_member(seq_id_);
+  if (seq == nullptr) return;
+  flip_.send(seq->address, my_addr_, encode_wire(m));
+}
+
+void GroupMember::send_to_address(const flip::Address& to, WireMsg m) {
+  m.incarnation = inc_;
+  if (trace_) trace_(true, m, exec_.now());
+  flip_.send(to, my_addr_, encode_wire(m));
+}
+
+void GroupMember::multicast(WireMsg m) {
+  m.incarnation = inc_;
+  if (trace_) trace_(true, m, exec_.now());
+  flip_.send(gaddr_, my_addr_, encode_wire(m));
+}
+
+void GroupMember::dispatch(const flip::Address& src, WireMsg m) {
+  if (trace_) trace_(false, m, exec_.now());
+  if (m.type == WireType::retransmit) ++stats_.retransmits_received;
+  // Incarnation fencing: recovery messages carry their own rules; all
+  // regular traffic must match the current incarnation.
+  switch (m.type) {
+    case WireType::reset_invite:
+      on_reset_invite(src, m);
+      return;
+    case WireType::reset_vote:
+      on_reset_vote(m);
+      return;
+    case WireType::reset_retrieve:
+      on_reset_retrieve(src, m);
+      return;
+    case WireType::reset_missing:
+      on_reset_missing(m);
+      return;
+    case WireType::reset_result:
+      on_reset_result(m);
+      return;
+    case WireType::join_snapshot: {
+      auto snap = decode_snapshot(m.payload);
+      if (snap.has_value()) finish_join(*snap);
+      return;
+    }
+    default:
+      break;
+  }
+
+  if (state_ != State::running) return;
+
+  if (m.type == WireType::join_req) {
+    if (i_am_sequencer()) seq_on_join(m);
+    return;
+  }
+
+  if (m.incarnation != inc_) return;
+
+  // Piggybacked delivery horizon: the positive half of the protocol.
+  if (i_am_sequencer() && m.sender != kInvalidMember &&
+      m.type != WireType::seq_data && m.type != WireType::seq_accept) {
+    seq_note_horizon(m.sender, m.piggyback);
+  }
+
+  switch (m.type) {
+    case WireType::data_pb:
+      if (i_am_sequencer()) seq_on_request(src, std::move(m), false);
+      break;
+    case WireType::data_bb: {
+      // Everyone (sender included, via loopback) stashes the payload until
+      // the sequencer's accept names its sequence number.
+      if (bb_stash_.size() < cfg_.history_size * 2) {
+        bb_stash_[{m.sender, m.msg_id}] = m.payload;
+      }
+      if (i_am_sequencer()) seq_on_request(src, std::move(m), true);
+      break;
+    }
+    case WireType::seq_data:
+    case WireType::retransmit:
+      on_seq_data(m);
+      break;
+    case WireType::seq_accept:
+      on_seq_accept(m);
+      break;
+    case WireType::resil_ack:
+      if (i_am_sequencer()) seq_on_resil_ack(m);
+      break;
+    case WireType::nack:
+      if (i_am_sequencer()) seq_on_nack(m);
+      break;
+    case WireType::status_req: {
+      WireMsg rep;
+      rep.type = WireType::status_rep;
+      rep.sender = my_id_;
+      rep.piggyback = next_deliver_;
+      send_to_sequencer(std::move(rep));
+      break;
+    }
+    case WireType::status_rep:
+      // Horizon already noted above. Two consecutive heartbeats reporting
+      // the same lagging horizon mean the member lost the tail of the
+      // stream (nothing in flight will fill its gap): serve it. A single
+      // lagging heartbeat is normal when traffic is in flight.
+      if (i_am_sequencer() && seq_lt(m.piggyback, next_assign_)) {
+        auto [it, inserted] =
+            last_status_horizon_.try_emplace(m.sender, m.piggyback);
+        if (!inserted && it->second == m.piggyback) {
+          seq_catch_up(m.sender, m.piggyback);
+        }
+        it->second = m.piggyback;
+      }
+      break;
+    case WireType::leave_req:
+      if (i_am_sequencer()) seq_on_leave(m);
+      break;
+    case WireType::fc_rts:
+      if (i_am_sequencer()) seq_on_rts(m);
+      break;
+    case WireType::fc_cts:
+      if (Outgoing* o = find_outgoing(m.msg_id);
+          o != nullptr && !o->granted) {
+        o->granted = true;
+        transmit_entry(*o);  // the actual data goes out now
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Sender side
+// --------------------------------------------------------------------------
+
+bool GroupMember::use_bb(std::size_t size) const {
+  switch (cfg_.method) {
+    case Method::pb: return false;
+    case Method::bb: return true;
+    case Method::dynamic: return size > cfg_.bb_threshold;
+  }
+  return false;
+}
+
+void GroupMember::send_to_group(Buffer data, StatusCb done) {
+  if (state_ == State::failed) {
+    done(Status::failure);
+    return;
+  }
+  if (state_ != State::running && state_ != State::recovering) {
+    done(Status::not_member);
+    return;
+  }
+  if (data.size() > cfg_.max_message) {
+    done(Status::overflow);
+    return;
+  }
+  send_queue_.emplace_back(std::move(data), std::move(done));
+  fill_pipeline();
+}
+
+void GroupMember::fill_pipeline() {
+  // Admit queued sends up to the pipeline depth (1 = the paper's blocking
+  // semantics; the sequencer enforces per-sender FIFO for deeper windows).
+  while (static_cast<int>(outs_.size()) < std::max(1, cfg_.max_outstanding) &&
+         !send_queue_.empty()) {
+    auto [data, done] = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    Outgoing o;
+    o.msg_id = next_msg_id_++;
+    o.data = std::move(data);
+    o.done = std::move(done);
+    o.via_bb = use_bb(o.data.size());
+    o.deliver_mark = next_deliver_;
+    // Sender-side copy: user buffer into the kernel.
+    exec_.charge(exec_.costs().copy_time(o.data.size()));
+    outs_.push_back(std::move(o));
+    if (state_ == State::running) transmit_entry(outs_.back());
+    // While recovering, the request stays parked and is transmitted when
+    // the new view is installed.
+  }
+}
+
+GroupMember::Outgoing* GroupMember::find_outgoing(std::uint32_t msg_id) {
+  for (Outgoing& o : outs_) {
+    if (o.msg_id == msg_id) return &o;
+  }
+  return nullptr;
+}
+
+void GroupMember::transmit_entry(Outgoing& o) {
+  o.needs_grant = cfg_.flow_control && o.data.size() > cfg_.fc_threshold;
+  if (o.needs_grant && !o.granted) {
+    // Flow control: ask for a transmission slot first. The regular send
+    // timer re-issues the RTS if the CTS is lost.
+    WireMsg rts;
+    rts.type = WireType::fc_rts;
+    rts.sender = my_id_;
+    rts.msg_id = o.msg_id;
+    rts.piggyback = next_deliver_;
+    rts.range_count = static_cast<std::uint32_t>(o.data.size());
+    send_to_sequencer(std::move(rts));
+  } else {
+    WireMsg m;
+    m.type = o.via_bb ? WireType::data_bb : WireType::data_pb;
+    m.sender = my_id_;
+    m.msg_id = o.msg_id;
+    m.piggyback = next_deliver_;
+    m.kind = MessageKind::app;
+    // Window base: our oldest outstanding msg_id. A sequencer whose
+    // per-sender state is younger than our pipeline (fresh after recovery
+    // or hand-off, with the history already trimmed) fast-forwards to it
+    // instead of waiting forever for messages we already completed.
+    m.range_from = outs_.empty() ? o.msg_id : outs_.front().msg_id;
+    m.payload = o.data;
+    if (o.via_bb) {
+      ++stats_.sends_bb;
+      multicast(std::move(m));
+    } else {
+      ++stats_.sends_pb;
+      send_to_sequencer(std::move(m));
+    }
+  }
+  // Deterministic per-member jitter (0.75x..1.5x) so that many senders
+  // whose requests were dropped together (sequencer ring overflow) do not
+  // retry as a synchronized herd and overflow it again.
+  const std::uint64_t salt =
+      (static_cast<std::uint64_t>(my_id_) * 2654435761ULL +
+       static_cast<std::uint64_t>(static_cast<unsigned>(o.attempts)) *
+           40503ULL) %
+      4;
+  const Duration retry{cfg_.send_retry.ns *
+                       (3 + static_cast<std::int64_t>(salt)) / 4};
+  exec_.cancel_timer(o.timer);
+  o.timer = exec_.set_timer(
+      retry, [this, msg_id = o.msg_id] { on_send_timer(msg_id); });
+}
+
+void GroupMember::transmit_all_outstanding() {
+  for (Outgoing& o : outs_) {
+    o.granted = false;  // a new sequencer holds no flow-control state
+    transmit_entry(o);
+  }
+}
+
+void GroupMember::on_send_timer(std::uint32_t msg_id) {
+  if (state_ != State::running) return;
+  Outgoing* o = find_outgoing(msg_id);
+  if (o == nullptr) return;
+  if (++o->attempts > cfg_.send_retries) {
+    if (seq_gt(next_deliver_, o->deliver_mark)) {
+      // The group IS progressing — the sequencer is alive but swamped
+      // (our requests drown in its receive ring or history). That is
+      // congestion, not failure: keep retrying. "The protocol continues
+      // working, but the performance drops" (Section 4).
+      o->deliver_mark = next_deliver_;
+      o->attempts = 1;
+    } else {
+      // No deliveries either: the sequencer is unreachable and the group
+      // has failed for us. The application decides whether to ResetGroup
+      // (Section 2.1).
+      enter_failed(Status::timeout);
+      return;
+    }
+  }
+  transmit_entry(*o);
+}
+
+void GroupMember::complete_entry(std::uint32_t msg_id, Status s) {
+  for (auto it = outs_.begin(); it != outs_.end(); ++it) {
+    if (it->msg_id != msg_id) continue;
+    exec_.cancel_timer(it->timer);
+    auto done = std::move(it->done);
+    outs_.erase(it);
+    if (s == Status::ok) ++stats_.sends_completed;
+    if (done) done(s);
+    if (state_ == State::running) fill_pipeline();
+    return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Receiver side
+// --------------------------------------------------------------------------
+
+void GroupMember::on_seq_data(const WireMsg& m) {
+  if (seq_lt(m.seq, next_deliver_)) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  auto [it, inserted] = ooo_.try_emplace(m.seq);
+  PendingMsg& p = it->second;
+  if (!inserted && p.have_data && !p.tentative) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  const bool was_accepted = !inserted && !p.tentative;
+  p.sender = m.sender;
+  p.kind = m.kind;
+  p.msg_id = m.msg_id;
+  p.data = m.payload;
+  p.have_data = true;
+  p.arrived = exec_.now();
+  const bool tentative_now = (m.flags & kFlagTentative) != 0 && !was_accepted;
+  p.tentative = tentative_now;
+  if (tentative_now) {
+    maybe_send_resil_ack(m.seq, m.sender);
+  }
+  drain_deliverable();
+  if (missing_anything()) schedule_nack();
+}
+
+void GroupMember::on_seq_accept(const WireMsg& m) {
+  if (seq_lt(m.seq, next_deliver_)) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  auto [it, inserted] = ooo_.try_emplace(m.seq);
+  PendingMsg& p = it->second;
+  p.arrived = exec_.now();
+  if (inserted || !p.have_data) {
+    p.sender = m.sender;
+    p.kind = m.kind;
+    p.msg_id = m.msg_id;
+    // BB method: the payload travelled separately; look in the stash.
+    const auto stash = bb_stash_.find({m.sender, m.msg_id});
+    if (stash != bb_stash_.end()) {
+      p.data = std::move(stash->second);
+      p.have_data = true;
+      bb_stash_.erase(stash);
+    }
+  }
+  const bool tentative_now = (m.flags & kFlagTentative) != 0;
+  if (!tentative_now) {
+    p.tentative = false;
+  } else if (p.tentative) {
+    maybe_send_resil_ack(m.seq, m.sender);
+  }
+  drain_deliverable();
+  if (missing_anything()) schedule_nack();
+}
+
+void GroupMember::maybe_send_resil_ack(SeqNum seq, MemberId sender) {
+  // "if its member identifier is lower than r, it sends an
+  // acknowledgement" — excluding the sending kernel, whose copy is
+  // implicit. Only ack what we actually buffered.
+  if (my_id_ >= cfg_.resilience || my_id_ == sender) return;
+  const auto it = ooo_.find(seq);
+  if (it == ooo_.end() || !it->second.have_data) return;
+  WireMsg ack;
+  ack.type = WireType::resil_ack;
+  ack.sender = my_id_;
+  ack.seq = seq;
+  ack.piggyback = next_deliver_;
+  ++stats_.resil_acks_sent;
+  send_to_sequencer(std::move(ack));
+}
+
+void GroupMember::drain_deliverable() {
+  while (true) {
+    const auto it = ooo_.find(next_deliver_);
+    if (it == ooo_.end() || it->second.tentative || !it->second.have_data) {
+      break;
+    }
+    PendingMsg msg = std::move(it->second);
+    ooo_.erase(it);
+    deliver(next_deliver_, std::move(msg));
+  }
+}
+
+void GroupMember::deliver(SeqNum seq, PendingMsg msg) {
+  assert(seq == next_deliver_);
+  ++next_deliver_;
+  nack_attempts_ = 0;  // progress: reset the giving-up counter
+  if (catchup_to_.has_value() && seq_ge(next_deliver_, *catchup_to_)) {
+    catchup_to_.reset();
+  }
+
+  GroupMessage gm;
+  gm.seq = seq;
+  gm.sender = msg.sender;
+  gm.kind = msg.kind;
+  gm.sender_msg_id = msg.msg_id;
+  gm.data = std::move(msg.data);
+
+  append_history(seq, msg);
+  history_.back().data = gm.data;  // share the payload with the app copy
+
+  ++stats_.messages_delivered;
+
+  if (i_am_sequencer()) {
+    horizon_[my_id_] = next_deliver_;
+    seq_trim_history();
+  }
+
+  // Our own message coming back ordered is the accept signal for
+  // SendToGroup (r = 0: the broadcast itself; r > 0: the final accept).
+  if (gm.sender == my_id_) {
+    complete_entry(gm.sender_msg_id, Status::ok);
+  }
+
+  if (gm.kind != MessageKind::app) {
+    apply_membership(gm);
+  }
+  if (leaving_ && i_am_sequencer()) check_sequencer_handoff();
+  if (cbs_.on_message) cbs_.on_message(gm);
+}
+
+void GroupMember::append_history(SeqNum seq, const PendingMsg& msg) {
+  if (history_.empty()) hist_base_ = seq;
+  GroupMessage h;
+  h.seq = seq;
+  h.sender = msg.sender;
+  h.kind = msg.kind;
+  h.sender_msg_id = msg.msg_id;
+  history_.push_back(std::move(h));
+  // Non-sequencer members keep a bounded ring purely for recovery; the
+  // sequencer's copy is trimmed by the piggybacked horizons instead.
+  if (!i_am_sequencer()) {
+    while (history_.size() > cfg_.history_size) {
+      history_.pop_front();
+      ++hist_base_;
+    }
+  }
+}
+
+bool GroupMember::missing_anything() const {
+  if (catchup_to_.has_value() && seq_lt(next_deliver_, *catchup_to_)) {
+    return true;
+  }
+  if (ooo_.empty()) return false;
+  const Time now = exec_.now();
+  const SeqNum last = ooo_.rbegin()->first;
+  for (SeqNum s = next_deliver_; seq_le(s, last); ++s) {
+    const auto it = ooo_.find(s);
+    if (it == ooo_.end() || entry_missing(it->second, now)) return true;
+  }
+  return false;
+}
+
+void GroupMember::schedule_nack() {
+  if (nack_timer_ != transport::kInvalidTimer) return;
+  // "It sends a negative acknowledgement as soon as it discovers that it
+  // has missed a message" — a short fuse lets an in-flight ordering
+  // resolve without spurious NACKs.
+  nack_timer_ = exec_.set_timer(Duration::millis(1), [this] { fire_nack(); });
+}
+
+void GroupMember::fire_nack() {
+  nack_timer_ = transport::kInvalidTimer;
+  if (state_ != State::running || !missing_anything()) return;
+  if (++nack_attempts_ > cfg_.send_retries * 4) {
+    if (leaving_) {
+      // We cannot catch up, and we were leaving anyway — the group has
+      // almost certainly already removed us. Finish the leave locally.
+      leaving_ = false;
+      exec_.cancel_timer(join_timer_);
+      state_ = State::left;
+      flip_.leave_group(gaddr_);
+      auto done = std::move(leave_done_);
+      leave_done_ = nullptr;
+      if (done) done(Status::ok);
+      return;
+    }
+    enter_failed(Status::timeout);
+    return;
+  }
+  // First missing run from the head.
+  const Time nnow = exec_.now();
+  SeqNum last = ooo_.empty() ? next_deliver_ : ooo_.rbegin()->first;
+  if (catchup_to_.has_value()) last = seq_max(last, *catchup_to_ - 1);
+  SeqNum from = next_deliver_;
+  while (seq_le(from, last)) {
+    const auto it = ooo_.find(from);
+    if (it == ooo_.end() || entry_missing(it->second, nnow)) break;
+    ++from;
+  }
+  std::uint32_t count = 0;
+  for (SeqNum s = from; seq_le(s, last) && count < cfg_.nack_batch; ++s) {
+    const auto it = ooo_.find(s);
+    if (it == ooo_.end() || entry_missing(it->second, nnow)) {
+      count = (s - from) + 1;
+    }
+  }
+  WireMsg m;
+  m.type = WireType::nack;
+  m.sender = my_id_;
+  m.piggyback = next_deliver_;
+  m.range_from = from;
+  m.range_count = count;
+  ++stats_.nacks_sent;
+  send_to_sequencer(std::move(m));
+  nack_timer_ = exec_.set_timer(cfg_.nack_retry, [this] { fire_nack(); });
+}
+
+void GroupMember::start_status_timer() {
+  exec_.cancel_timer(status_timer_);
+  status_timer_ = exec_.set_timer(cfg_.status_interval,
+                                  [this] { on_status_timer(); });
+}
+
+void GroupMember::on_status_timer() {
+  status_timer_ = transport::kInvalidTimer;
+  if (state_ != State::running) return;
+  if (!i_am_sequencer()) {
+    WireMsg m;
+    m.type = WireType::status_rep;
+    m.sender = my_id_;
+    m.piggyback = next_deliver_;
+    send_to_sequencer(std::move(m));
+  }
+  start_status_timer();
+}
+
+void GroupMember::apply_membership(const GroupMessage& msg) {
+  auto change = decode_membership_change(msg.data);
+  if (!change.has_value()) return;
+  switch (msg.kind) {
+    case MessageKind::join: {
+      if (find_member(change->member) == nullptr) {
+        members_.push_back(MemberInfo{change->member, change->address});
+        std::sort(members_.begin(), members_.end(),
+                  [](const MemberInfo& a, const MemberInfo& b) {
+                    return a.id < b.id;
+                  });
+        if (change->member >= next_member_id_) {
+          next_member_id_ = change->member + 1;
+        }
+      }
+      if (i_am_sequencer()) {
+        const auto pending = pending_joins_.find(change->address.id);
+        if (pending != pending_joins_.end()) {
+          seq_send_snapshot(change->member, change->address);
+          pending_joins_.erase(pending);
+        }
+      }
+      break;
+    }
+    case MessageKind::handoff: {
+      // The sequencer role moves; nobody departs. The group was drained
+      // before the hand-off was ordered, so the successor starts clean.
+      seq_id_ = change->new_sequencer;
+      if (seq_id_ == my_id_) {
+        next_assign_ = msg.seq + 1;
+        tentative_.clear();
+        sender_state_.clear();
+        horizon_.clear();
+        for (const MemberInfo& m : members_) horizon_[m.id] = msg.seq + 1;
+        hist_base_ = next_deliver_;
+        history_.clear();
+        fc_granted_.clear();
+        fc_queue_.clear();
+      }
+      if (change->member == my_id_) {
+        // We were the old sequencer: the transfer is complete.
+        leaving_ = false;
+        handoff_issued_ = false;
+        transfer_to_.reset();
+        detector_.reset();
+        auto done = std::move(transfer_done_);
+        transfer_done_ = nullptr;
+        if (done) done(Status::ok);
+      }
+      break;
+    }
+    case MessageKind::leave:
+    case MessageKind::expel: {
+      members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                    [&](const MemberInfo& m) {
+                                      return m.id == change->member;
+                                    }),
+                     members_.end());
+      horizon_.erase(change->member);
+      detector_.forget(change->member);
+      last_status_horizon_.erase(change->member);
+      pending_leaves_.erase(change->member);
+      sender_state_.erase(change->member);
+      // A departed member must not hold (or wait for) a flow-control slot.
+      if (i_am_sequencer()) {
+        std::erase_if(fc_queue_, [&](const auto& e) {
+          return e.first == change->member;
+        });
+        seq_release_fc_slot(change->member);
+      }
+      // Remember where to reach the departed member until it has caught up
+      // to its own departure event (bounded set).
+      departed_[change->member] = {change->address, msg.seq + 1};
+      while (departed_.size() > 32) departed_.erase(departed_.begin());
+      if (change->member == my_id_) {
+        if (msg.kind == MessageKind::leave && leaving_) {
+          leaving_ = false;
+          exec_.cancel_timer(join_timer_);
+          state_ = State::left;
+          flip_.leave_group(gaddr_);
+          auto done = std::move(leave_done_);
+          leave_done_ = nullptr;
+          if (done) done(Status::ok);
+        } else {
+          // Expelled: the failure detector declared us dead while we were
+          // alive (Section 2.1 allows this). We are out.
+          enter_failed(Status::not_member);
+        }
+        return;
+      }
+      if (change->new_sequencer != kInvalidMember) {
+        seq_id_ = change->new_sequencer;
+        if (seq_id_ == my_id_) {
+          // Sequencer handoff: the departing sequencer drained the group
+          // first, so every member has everything; we start fresh.
+          next_assign_ = msg.seq + 1;
+          tentative_.clear();
+          sender_state_.clear();
+          horizon_.clear();
+          for (const MemberInfo& m : members_) horizon_[m.id] = msg.seq + 1;
+          hist_base_ = next_deliver_;
+          history_.clear();
+          fc_granted_.clear();
+          fc_queue_.clear();
+        }
+      } else if (i_am_sequencer()) {
+        // A member left: its horizon no longer constrains the history, and
+        // tentative messages waiting on its ack can settle.
+        for (auto it = tentative_.begin(); it != tentative_.end();) {
+          it->second.awaiting.erase(change->member);
+          const SeqNum s = it->first;
+          const bool ready = it->second.awaiting.empty();
+          ++it;
+          if (ready) seq_finalize(s);
+        }
+        seq_trim_history();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  install_view(false);
+}
+
+std::string GroupMember::describe(const WireMsg& msg) {
+  static constexpr const char* kNames[] = {
+      "?",           "data_pb",      "data_bb",       "seq_data",
+      "seq_accept",  "resil_ack",    "nack",          "retransmit",
+      "status_req",  "status_rep",   "join_req",      "join_snapshot",
+      "leave_req",   "reset_invite", "reset_vote",    "reset_retrieve",
+      "reset_missing", "reset_result", "fc_rts",      "fc_cts",
+  };
+  const auto t = static_cast<std::size_t>(msg.type);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s inc=%u from=%d seq=%u msg_id=%u piggy=%u%s%s len=%zu",
+                t < std::size(kNames) ? kNames[t] : "?", msg.incarnation,
+                msg.sender == kInvalidMember ? -1 : static_cast<int>(msg.sender),
+                msg.seq, msg.msg_id, msg.piggyback,
+                (msg.flags & kFlagTentative) != 0 ? " tentative" : "",
+                msg.kind != MessageKind::app ? " sys" : "",
+                msg.payload.size());
+  return buf;
+}
+
+}  // namespace amoeba::group

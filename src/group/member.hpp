@@ -1,0 +1,367 @@
+// The Amoeba group protocol state machine.
+//
+// One GroupMember embodies one process's membership in one group: the
+// sender side of SendToGroup (PB and BB methods, dynamic switching), the
+// receiver side (sequence-gap detection, negative acknowledgements,
+// in-order delivery), the sequencer role (ordering, history buffer,
+// retransmission service, resilience-degree bookkeeping, membership), and
+// the recovery protocol behind ResetGroup.
+//
+// The class is sans-I/O: every external effect flows through the injected
+// FlipStack (wire) and Executor (time, CPU cost, timers). On the simulator
+// the Executor advances virtual time by the paper's Table-3 layer costs;
+// on the UDP runtime costs are zero and time is the steady clock. The
+// protocol logic is byte-identical in both worlds.
+//
+// All methods must be called from the Executor's serialized context (the
+// simulation loop / the runtime's locked loop thread). Blocking wrappers
+// for application threads live in group/blocking.hpp.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/result.hpp"
+#include "flip/stack.hpp"
+#include "group/config.hpp"
+#include "group/failure_detector.hpp"
+#include "group/message.hpp"
+#include "group/types.hpp"
+#include "transport/runtime.hpp"
+
+namespace amoeba::group {
+
+/// Counters exposed for tests, benches, and GetInfoGroup diagnostics.
+struct GroupStats {
+  std::uint64_t sends_pb{0};
+  std::uint64_t sends_bb{0};
+  std::uint64_t sends_completed{0};
+  std::uint64_t messages_delivered{0};
+  std::uint64_t messages_sequenced{0};
+  std::uint64_t nacks_sent{0};
+  std::uint64_t retransmits_served{0};
+  std::uint64_t retransmits_received{0};
+  std::uint64_t retransmit_misses{0};
+  std::uint64_t resil_acks_sent{0};
+  std::uint64_t duplicates_dropped{0};
+  std::uint64_t history_stalls{0};  // sequencer dropped a request: no room
+  std::uint64_t status_polls{0};
+  std::uint64_t expels_issued{0};
+  std::uint64_t resets_started{0};
+  std::uint64_t resets_completed{0};
+};
+
+class GroupMember {
+ public:
+  using StatusCb = std::function<void(Status)>;
+  using ResetCb = std::function<void(Status, std::uint32_t new_size)>;
+
+  struct Callbacks {
+    /// Totally-ordered delivery stream (application data and membership
+    /// events alike; `kind` distinguishes them).
+    std::function<void(const GroupMessage&)> on_message;
+    /// A new view was installed (join/leave/expel applied, or recovery).
+    std::function<void(const ViewChange&)> on_view;
+    /// The group failed locally (sequencer unreachable / we were expelled).
+    /// The application decides whether to call reset_group (Section 2.1:
+    /// recovery is at the user's request).
+    std::function<void(Status)> on_fault;
+  };
+
+  enum class State {
+    idle,        // not in any group
+    joining,     // join_req sent, waiting for snapshot
+    running,     // normal operation
+    recovering,  // ResetGroup in progress
+    failed,      // lost the group; reset_group or leave
+    left,        // left voluntarily
+  };
+
+  /// Lifetime: completion and delivery callbacks run on the member's own
+  /// call stack — never destroy the GroupMember from inside one (defer
+  /// destruction to a fresh executor event instead).
+  GroupMember(flip::FlipStack& flip, transport::Executor& exec,
+              flip::Address my_address, GroupConfig config, Callbacks cbs);
+  ~GroupMember();
+  GroupMember(const GroupMember&) = delete;
+  GroupMember& operator=(const GroupMember&) = delete;
+
+  // --- Table 1 primitives -------------------------------------------------
+  /// CreateGroup: become the group's first member and its sequencer.
+  void create_group(flip::Address group, StatusCb done);
+  /// JoinGroup: locate the sequencer through the group address and enter.
+  void join_group(flip::Address group, StatusCb done);
+  /// LeaveGroup: totally-ordered departure; sequencer hands off if needed.
+  void leave_group(StatusCb done);
+  /// SendToGroup: reliable, totally-ordered broadcast. Completion fires
+  /// when the message is accepted (r = 0) or r-stable (r > 0). Sends are
+  /// queued FIFO; each member has one message outstanding at a time,
+  /// matching the blocking primitive.
+  void send_to_group(Buffer data, StatusCb done);
+  /// ResetGroup: rebuild after a processor failure. Fails with
+  /// quorum_unreachable when fewer than `min_size` members respond.
+  void reset_group(std::uint32_t min_size, ResetCb done);
+  /// GetInfoGroup.
+  GroupInfo info() const;
+
+  /// Extension (Section 5 retrospective): migrate the sequencer role to
+  /// another member without anyone leaving. Callable only on the current
+  /// sequencer; the group is drained first so the successor starts with a
+  /// clean history, then the hand-off is ordered like any membership
+  /// event. Completion fires once the hand-off is delivered locally.
+  void transfer_sequencer(MemberId to, StatusCb done);
+
+  State state() const { return state_; }
+  const GroupStats& stats() const { return stats_; }
+  const GroupConfig& config() const { return cfg_; }
+
+  /// Protocol tracing: when set, every group message this member sends or
+  /// has dispatched is reported (after decode, before handling). Costs
+  /// nothing when unset. `outgoing` is true for messages we emit.
+  using TraceFn =
+      std::function<void(bool outgoing, const WireMsg& msg, Time at)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  /// Human-readable one-liner for a wire message (tracing, logs, tests).
+  static std::string describe(const WireMsg& msg);
+  flip::Address address() const { return my_addr_; }
+  bool i_am_sequencer() const {
+    return state_ == State::running && my_id_ == seq_id_;
+  }
+  /// Address of a member by id (RPC ForwardRequest uses this).
+  std::optional<flip::Address> member_address(MemberId id) const;
+
+ private:
+  // --- Message plumbing -----------------------------------------------------
+  void on_group_packet(flip::Address src, Buffer bytes);   // multicast path
+  void on_member_packet(flip::Address src, Buffer bytes);  // unicast path
+  void dispatch(const flip::Address& src, WireMsg m);
+  void send_to_sequencer(WireMsg m);
+  void send_to_address(const flip::Address& to, WireMsg m);
+  void multicast(WireMsg m);
+  Duration dispatch_cost(const WireMsg& m) const;
+
+  // --- Sender side ------------------------------------------------------------
+  struct Outgoing;  // defined with the data members below
+  void fill_pipeline();
+  void transmit_entry(Outgoing& o);
+  void transmit_all_outstanding();
+  void on_send_timer(std::uint32_t msg_id);
+  void complete_entry(std::uint32_t msg_id, Status s);
+  Outgoing* find_outgoing(std::uint32_t msg_id);
+  bool use_bb(std::size_t size) const;
+
+  // --- Receiver side -----------------------------------------------------------
+  struct PendingMsg {
+    MemberId sender{kInvalidMember};
+    MessageKind kind{MessageKind::app};
+    std::uint32_t msg_id{0};
+    Buffer data;
+    bool tentative{true};
+    bool have_data{false};
+    Time arrived{};  // when we first heard of this seq (NACK aging)
+  };
+  /// True when `p` should be (re-)requested from the sequencer: we lack
+  /// its data, or it has sat tentative long enough that the final accept
+  /// was probably lost.
+  bool entry_missing(const PendingMsg& p, Time now) const {
+    if (!p.have_data) return true;
+    return p.tentative && (now - p.arrived) > cfg_.nack_retry;
+  }
+  void on_seq_data(const WireMsg& m);
+  void on_seq_accept(const WireMsg& m);
+  void maybe_send_resil_ack(SeqNum seq, MemberId sender);
+  void drain_deliverable();
+  void deliver(SeqNum seq, PendingMsg msg);
+  void apply_membership(const GroupMessage& msg);
+  void schedule_nack();
+  void fire_nack();
+  bool missing_anything() const;
+  void append_history(SeqNum seq, const PendingMsg& msg);
+  void start_status_timer();
+  void on_status_timer();
+
+  // --- Sequencer side ---------------------------------------------------------
+  struct Tentative {
+    PendingMsg msg;
+    std::set<MemberId> awaiting;  // acks still missing
+    Time created{};
+  };
+  void seq_on_request(const flip::Address& src, WireMsg m, bool via_bb);
+  /// Core assignment; returns false when the request was refused
+  /// (draining or history full) — the caller must not advance FIFO state.
+  bool seq_assign(MemberId sender, std::uint32_t msg_id, MessageKind kind,
+                  Buffer data, bool via_bb);
+  void seq_on_resil_ack(const WireMsg& m);
+  void seq_finalize(SeqNum seq);
+  void seq_tentative_sweep();
+  void seq_catch_up(MemberId member, SeqNum from);
+  void seq_on_nack(const WireMsg& m);
+  void seq_serve_retransmit(MemberId to, SeqNum seq);
+  void seq_note_horizon(MemberId member, SeqNum piggyback);
+  void seq_trim_history();
+  void seq_check_laggards();
+  void seq_issue_membership(MessageKind kind, const MembershipChange& change);
+  void seq_on_join(const WireMsg& m);
+  void seq_send_snapshot(MemberId to_id, const flip::Address& to);
+  void seq_on_leave(const WireMsg& m);
+  void seq_on_rts(const WireMsg& m);
+  void seq_send_cts(MemberId to, std::uint32_t msg_id);
+  void seq_release_fc_slot(MemberId member);
+  void seq_grant_next_fc();
+  std::set<MemberId> resil_ackers(MemberId sender) const;
+  bool history_full() const { return history_.size() >= cfg_.history_size; }
+
+  // --- Membership / views -------------------------------------------------------
+  const MemberInfo* find_member(MemberId id) const;
+  const MemberInfo* find_member_by_addr(const flip::Address& a) const;
+  void install_view(bool from_recovery);
+  void enter_failed(Status why);
+  void finish_join(const Snapshot& snap);
+  void on_join_timer();
+  void check_sequencer_handoff();
+
+  // --- Recovery (recovery.cpp) ----------------------------------------------
+  void on_reset_invite(const flip::Address& src, const WireMsg& m);
+  void on_reset_vote(const WireMsg& m);
+  void on_reset_retrieve(const flip::Address& src, const WireMsg& m);
+  void on_reset_missing(const WireMsg& m);
+  void on_reset_result(const WireMsg& m);
+  void coord_invite_round();
+  void coord_try_conclude();
+  void coord_request_missing();
+  void coord_finish();
+  void coord_fail(Status why);
+  void send_my_vote();
+  Vote local_vote() const;
+  void abandon_recovery();
+
+  // --- Data members ------------------------------------------------------------
+  flip::FlipStack& flip_;
+  transport::Executor& exec_;
+  flip::Address my_addr_;
+  GroupConfig cfg_;
+  Callbacks cbs_;
+  GroupStats stats_;
+  TraceFn trace_;
+
+  State state_{State::idle};
+  flip::Address gaddr_;
+  Incarnation inc_{0};
+  std::vector<MemberInfo> members_;  // sorted by id
+  MemberId my_id_{kInvalidMember};
+  MemberId seq_id_{kInvalidMember};
+  MemberId next_member_id_{0};
+
+  // Receiver.
+  SeqNum next_deliver_{0};
+  std::map<SeqNum, PendingMsg> ooo_;
+  std::map<std::pair<MemberId, std::uint32_t>, Buffer> bb_stash_;
+  std::deque<GroupMessage> history_;  // contiguous; front has seq hist_base_
+  SeqNum hist_base_{0};
+  transport::TimerId nack_timer_{transport::kInvalidTimer};
+  int nack_attempts_{0};
+  /// After recovery: the rebuilt stream extends to here; NACK our way up
+  /// even though nothing sits in the out-of-order buffer yet.
+  std::optional<SeqNum> catchup_to_;
+  transport::TimerId status_timer_{transport::kInvalidTimer};
+
+  // Sender.
+  struct Outgoing {
+    std::uint32_t msg_id{0};
+    Buffer data;
+    StatusCb done;
+    int attempts{0};
+    bool via_bb{false};
+    /// Flow control: a large message waits for the sequencer's CTS.
+    bool needs_grant{false};
+    bool granted{false};
+    /// Delivery horizon when the retry counter last reset: congestion
+    /// (group still progressing) must not be mistaken for sequencer death.
+    SeqNum deliver_mark{0};
+    transport::TimerId timer{transport::kInvalidTimer};
+  };
+  /// In-flight sends, FIFO by msg_id (size <= cfg_.max_outstanding).
+  std::deque<Outgoing> outs_;
+  std::deque<std::pair<Buffer, StatusCb>> send_queue_;
+  std::uint32_t next_msg_id_{1};
+
+  // Joining.
+  StatusCb join_done_;
+  transport::TimerId join_timer_{transport::kInvalidTimer};
+  int join_attempts_{0};
+
+  // Leaving / sequencer hand-off. `leaving_` covers both: the sequencer
+  // drains the group before giving up the role, whether it departs
+  // (leave) or stays (transfer).
+  StatusCb leave_done_;
+  bool leaving_{false};
+  std::optional<MemberId> transfer_to_;  // set: hand off, do not depart
+  StatusCb transfer_done_;
+
+  // Sequencer.
+  SeqNum next_assign_{0};
+  std::map<SeqNum, Tentative> tentative_;
+  std::map<MemberId, SeqNum> horizon_;  // per-member delivered prefix
+  /// Per-sender sequencing state: enforces FIFO across pipelined sends
+  /// (requests sequenced strictly in msg_id order, gaps buffered) and
+  /// remembers recent assignments for duplicate suppression.
+  struct SenderState {
+    std::uint32_t expected{1};  // next msg_id to sequence
+    /// Early arrivals waiting for a gap: msg_id -> (payload, via_bb, kind).
+    std::map<std::uint32_t, std::pair<Buffer, bool>> held;
+    /// Recently assigned msg_id -> seq (bounded; newest last).
+    std::map<std::uint32_t, SeqNum> recent;
+  };
+  std::map<MemberId, SenderState> sender_state_;
+  std::map<std::uint64_t, MemberId> pending_joins_;  // addr.id -> assigned id
+  /// Recently departed members still catching up to their own leave/expel
+  /// event: id -> (address, first seq they no longer receive). The
+  /// sequencer serves their NACKs below that bound so a lagging leaver can
+  /// reach its departure point (bounded; stale entries are evicted).
+  std::map<MemberId, std::pair<flip::Address, SeqNum>> departed_;
+  /// Flow-control slots (extension, Section 4's open problem): members
+  /// currently cleared to transmit a large message, and those waiting.
+  std::set<MemberId> fc_granted_;
+  std::deque<std::pair<MemberId, std::uint32_t>> fc_queue_;
+  /// The unreliable failure detector (its own module — the Section 5
+  /// lesson). Suspects are fed by history pressure; probes are
+  /// status_reqs; death is an ordered expel.
+  FailureDetector detector_;
+  /// Horizon reported by each member's previous idle heartbeat; a repeat
+  /// of the same lagging value means the member is stuck, not just behind
+  /// in-flight traffic.
+  std::map<MemberId, SeqNum> last_status_horizon_;
+  std::set<MemberId> pending_leaves_;
+  bool handoff_issued_{false};
+  transport::TimerId tentative_sweep_timer_{transport::kInvalidTimer};
+
+  // Recovery.
+  struct Recovery {
+    bool coordinator{false};
+    Incarnation incarnation{0};
+    MemberId coord_id{kInvalidMember};
+    flip::Address coord_addr;
+    std::uint32_t min_size{0};
+    ResetCb done;
+    // Coordinator state:
+    std::map<MemberId, Vote> votes;
+    int invite_rounds{0};
+    transport::TimerId timer{transport::kInvalidTimer};
+    SeqNum target{0};           // rebuild delivers up to (not incl.) target
+    std::set<SeqNum> missing;   // messages the coordinator still needs
+    std::map<SeqNum, RecoveredMessage> recovered;
+    int retrieve_attempts{0};
+  };
+  std::optional<Recovery> recovery_;
+  /// Highest incarnation seen in any recovery message; a fresh coordinacy
+  /// must outbid every earlier attempt.
+  Incarnation max_inc_seen_{0};
+};
+
+}  // namespace amoeba::group

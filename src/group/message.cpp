@@ -1,0 +1,182 @@
+#include "group/message.hpp"
+
+#include "flip/wire.hpp"
+
+namespace amoeba::group {
+
+namespace {
+/// Padded encoded header size: the paper's 28-byte group header plus the
+/// 32-byte Amoeba user header.
+constexpr std::size_t kHeaderBytes =
+    flip::kGroupHeaderBytes + flip::kUserHeaderBytes;
+
+// type(1) inc(4) sender(4) piggy(4) msg_id(4) seq(4) flags(1) kind(1)
+// range_from(4) range_count(4) addr(8) payload_len(4) = 43.
+constexpr std::size_t kFixedFields = 43;
+static_assert(kFixedFields <= kHeaderBytes);
+}  // namespace
+
+Buffer encode_wire(const WireMsg& m) {
+  BufWriter w(kHeaderBytes + m.payload.size());
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.u32(m.incarnation);
+  w.u32(m.sender);
+  w.u32(m.piggyback);
+  w.u32(m.msg_id);
+  w.u32(m.seq);
+  w.u8(m.flags);
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.u32(m.range_from);
+  w.u32(m.range_count);
+  w.u64(m.addr.id);
+  w.u32(static_cast<std::uint32_t>(m.payload.size()));
+  for (std::size_t i = kFixedFields; i < kHeaderBytes; ++i) w.u8(0);
+  w.raw(m.payload);
+  return std::move(w).take();
+}
+
+std::optional<WireMsg> decode_wire(std::span<const std::uint8_t> bytes) {
+  BufReader r(bytes);
+  WireMsg m;
+  m.type = static_cast<WireType>(r.u8());
+  m.incarnation = r.u32();
+  m.sender = r.u32();
+  m.piggyback = r.u32();
+  m.msg_id = r.u32();
+  m.seq = r.u32();
+  m.flags = r.u8();
+  m.kind = static_cast<MessageKind>(r.u8());
+  m.range_from = r.u32();
+  m.range_count = r.u32();
+  m.addr = flip::Address{r.u64()};
+  const std::uint32_t payload_len = r.u32();
+  (void)r.raw(kHeaderBytes - kFixedFields);
+  if (!r.ok() || r.remaining() != payload_len) return std::nullopt;
+  const auto t = static_cast<std::uint8_t>(m.type);
+  if (t < 1 || t > static_cast<std::uint8_t>(WireType::fc_cts)) {
+    return std::nullopt;
+  }
+  const auto rest = r.rest();
+  m.payload.assign(rest.begin(), rest.end());
+  return m;
+}
+
+Buffer encode_snapshot(const Snapshot& s) {
+  BufWriter w(64 + s.members.size() * 12);
+  w.u32(s.incarnation);
+  w.u32(s.your_id);
+  w.u32(s.sequencer);
+  w.u32(s.next_member_id);
+  w.u32(s.next_seq);
+  w.u32(static_cast<std::uint32_t>(s.members.size()));
+  for (const MemberInfo& m : s.members) {
+    w.u32(m.id);
+    w.u64(m.address.id);
+  }
+  return std::move(w).take();
+}
+
+std::optional<Snapshot> decode_snapshot(std::span<const std::uint8_t> bytes) {
+  BufReader r(bytes);
+  Snapshot s;
+  s.incarnation = r.u32();
+  s.your_id = r.u32();
+  s.sequencer = r.u32();
+  s.next_member_id = r.u32();
+  s.next_seq = r.u32();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > 4096) return std::nullopt;
+  s.members.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MemberInfo m;
+    m.id = r.u32();
+    m.address = flip::Address{r.u64()};
+    s.members.push_back(m);
+  }
+  if (!r.ok()) return std::nullopt;
+  return s;
+}
+
+Buffer encode_vote(const Vote& v) {
+  BufWriter w(48 + v.tentative.size() * 4);
+  w.u32(v.member);
+  w.u64(v.address.id);
+  w.u32(v.next_deliver);
+  w.u32(v.hist_lo);
+  w.u32(v.hist_hi);
+  w.u32(static_cast<std::uint32_t>(v.tentative.size()));
+  for (const SeqNum s : v.tentative) w.u32(s);
+  return std::move(w).take();
+}
+
+std::optional<Vote> decode_vote(std::span<const std::uint8_t> bytes) {
+  BufReader r(bytes);
+  Vote v;
+  v.member = r.u32();
+  v.address = flip::Address{r.u64()};
+  v.next_deliver = r.u32();
+  v.hist_lo = r.u32();
+  v.hist_hi = r.u32();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > 65536) return std::nullopt;
+  v.tentative.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.tentative.push_back(r.u32());
+  if (!r.ok()) return std::nullopt;
+  return v;
+}
+
+Buffer encode_membership_change(const MembershipChange& c) {
+  BufWriter w(20);
+  w.u32(c.member);
+  w.u64(c.address.id);
+  w.u32(c.new_sequencer);
+  return std::move(w).take();
+}
+
+std::optional<MembershipChange> decode_membership_change(
+    std::span<const std::uint8_t> bytes) {
+  BufReader r(bytes);
+  MembershipChange c;
+  c.member = r.u32();
+  c.address = flip::Address{r.u64()};
+  c.new_sequencer = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return c;
+}
+
+Buffer encode_recovered(const std::vector<RecoveredMessage>& msgs) {
+  std::size_t bytes = 8;
+  for (const auto& m : msgs) bytes += 20 + m.data.size();
+  BufWriter w(bytes);
+  w.u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const auto& m : msgs) {
+    w.u32(m.seq);
+    w.u32(m.sender);
+    w.u8(static_cast<std::uint8_t>(m.kind));
+    w.u32(m.msg_id);
+    w.bytes(m.data);
+  }
+  return std::move(w).take();
+}
+
+std::optional<std::vector<RecoveredMessage>> decode_recovered(
+    std::span<const std::uint8_t> bytes) {
+  BufReader r(bytes);
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > 65536) return std::nullopt;
+  std::vector<RecoveredMessage> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    RecoveredMessage m;
+    m.seq = r.u32();
+    m.sender = r.u32();
+    m.kind = static_cast<MessageKind>(r.u8());
+    m.msg_id = r.u32();
+    m.data = r.bytes();
+    if (!r.ok()) return std::nullopt;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace amoeba::group

@@ -1,0 +1,122 @@
+// Group protocol wire messages.
+//
+// Every group-layer message shares one fixed header whose encoded size is
+// padded to exactly kGroupHeaderBytes + kUserHeaderBytes = 60 bytes, so
+// that together with the link (16) and FLIP (40) headers a minimal group
+// frame costs the paper's 116 header bytes on the simulated wire.
+//
+// The `piggyback` field is the negative-acknowledgement scheme's positive
+// half: every message a member sends toward the sequencer carries the
+// highest sequence number it has delivered, which is what lets the
+// sequencer trim its history buffer without explicit ack traffic
+// (Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/seqnum.hpp"
+#include "flip/address.hpp"
+#include "group/types.hpp"
+
+namespace amoeba::group {
+
+enum class WireType : std::uint8_t {
+  data_pb = 1,    // sender -> sequencer (point-to-point request, PB method)
+  data_bb,        // sender -> group (multicast request, BB method)
+  seq_data,       // sequencer -> group: full message stamped with seq
+  seq_accept,     // sequencer -> group: short accept (BB / resilience final)
+  resil_ack,      // member -> sequencer: tentative seq received & buffered
+  nack,           // member -> sequencer: retransmit [range_from, +count)
+  retransmit,     // sequencer -> member: unicast seq_data replay
+  status_req,     // sequencer -> member: report your horizon
+  status_rep,     // member -> sequencer: piggyback-only heartbeat
+  join_req,       // prospective member -> group address
+  join_snapshot,  // sequencer -> joiner: full group state
+  leave_req,      // member -> sequencer
+  reset_invite,   // coordinator -> group: rebuild under (incarnation, id)
+  reset_vote,     // member -> coordinator
+  reset_retrieve, // coordinator -> member: send me these messages
+  reset_missing,  // member -> coordinator: replay for recovery
+  reset_result,   // coordinator -> group: new view installed
+  fc_rts,         // sender -> sequencer: request slot for a large message
+  fc_cts,         // sequencer -> sender: slot granted, transmit
+};
+
+/// Flag bits in WireMsg::flags.
+constexpr std::uint8_t kFlagTentative = 0x01;  // resilience: not yet stable
+
+struct WireMsg {
+  WireType type{WireType::data_pb};
+  Incarnation incarnation{0};
+  MemberId sender{kInvalidMember};
+  /// Highest contiguous seq the sender has delivered (piggybacked ack).
+  SeqNum piggyback{0};
+  /// Sender-local id of a data message (duplicate suppression).
+  std::uint32_t msg_id{0};
+  SeqNum seq{0};
+  std::uint8_t flags{0};
+  MessageKind kind{MessageKind::app};
+  /// nack / reset_retrieve range.
+  SeqNum range_from{0};
+  std::uint32_t range_count{0};
+  /// join_req: joiner's process address; reset_invite: coordinator address.
+  flip::Address addr;
+  Buffer payload;
+};
+
+/// Encode to a FLIP message. Header is padded to 60 bytes, so the wire
+/// accounting size of the result is 60 + payload bytes (FLIP adds 40, the
+/// link adds 16: total 116 + payload).
+Buffer encode_wire(const WireMsg& m);
+std::optional<WireMsg> decode_wire(std::span<const std::uint8_t> bytes);
+
+// --- Structured payload helpers ------------------------------------------
+
+/// join_snapshot / reset_result payload.
+struct Snapshot {
+  Incarnation incarnation{0};
+  MemberId your_id{kInvalidMember};  // receiver's id (snapshot only)
+  MemberId sequencer{kInvalidMember};
+  MemberId next_member_id{0};
+  SeqNum next_seq{0};  // first sequence number of the new regime
+  std::vector<MemberInfo> members;
+};
+Buffer encode_snapshot(const Snapshot& s);
+std::optional<Snapshot> decode_snapshot(std::span<const std::uint8_t> bytes);
+
+/// reset_vote payload: what this member can contribute to recovery.
+struct Vote {
+  MemberId member{kInvalidMember};
+  flip::Address address;
+  SeqNum next_deliver{0};  // delivered prefix is [.., next_deliver)
+  /// Contiguous span of messages this member still buffers: [lo, hi).
+  SeqNum hist_lo{0};
+  SeqNum hist_hi{0};
+  /// Tentative (not yet accepted) sequence numbers buffered beyond hi.
+  std::vector<SeqNum> tentative;
+};
+Buffer encode_vote(const Vote& v);
+std::optional<Vote> decode_vote(std::span<const std::uint8_t> bytes);
+
+/// join/leave/expel system-message payload.
+Buffer encode_membership_change(const MembershipChange& c);
+std::optional<MembershipChange> decode_membership_change(
+    std::span<const std::uint8_t> bytes);
+
+/// reset_missing payload: a batch of recovered messages.
+struct RecoveredMessage {
+  SeqNum seq{0};
+  MemberId sender{kInvalidMember};
+  MessageKind kind{MessageKind::app};
+  std::uint32_t msg_id{0};
+  Buffer data;
+};
+Buffer encode_recovered(const std::vector<RecoveredMessage>& msgs);
+std::optional<std::vector<RecoveredMessage>> decode_recovered(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace amoeba::group

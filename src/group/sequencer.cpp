@@ -1,0 +1,498 @@
+// GroupMember: the sequencer role.
+//
+// "The sequencer performs a simple and computationally unintensive task":
+// stamp each request with the next sequence number and re-emit it (PB) or
+// emit a short accept (BB); keep a history buffer for retransmission; trim
+// it using the horizons members piggyback; detect and expel dead members;
+// order membership changes into the same stream as data.
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+#include "group/member.hpp"
+
+namespace amoeba::group {
+
+void GroupMember::seq_on_request(const flip::Address&, WireMsg m,
+                                 bool via_bb) {
+  seq_note_horizon(m.sender, m.piggyback);
+  if (find_member(m.sender) == nullptr) return;  // stale / not a member
+  if (m.kind != MessageKind::app) {
+    seq_assign(m.sender, m.msg_id, m.kind, std::move(m.payload), via_bb);
+    return;
+  }
+
+  // Per-sender FIFO: requests are sequenced strictly in msg_id order so
+  // pipelined sends (max_outstanding > 1) keep the paper's FIFO-total
+  // ordering; duplicates are answered from the recent-assignment map.
+  SenderState& ss = sender_state_[m.sender];
+  if (m.range_from > ss.expected) {
+    // The sender's whole pipeline starts past our expectation: everything
+    // below its window base completed under a previous sequencer (or was
+    // recovered and trimmed). Fast-forward; FIFO still holds from here.
+    ss.expected = m.range_from;
+  }
+  if (m.msg_id < ss.expected) {
+    const auto it = ss.recent.find(m.msg_id);
+    if (it != ss.recent.end()) seq_serve_retransmit(m.sender, it->second);
+    return;
+  }
+  if (m.msg_id > ss.expected) {
+    // Early arrival (an earlier message of the pipeline was dropped):
+    // hold it; the sender's retry fills the gap. Bounded.
+    if (ss.held.size() < 32) {
+      ss.held.emplace(m.msg_id, std::make_pair(std::move(m.payload), via_bb));
+    }
+    return;
+  }
+  // In order: sequence it and drain any held successors.
+  if (!seq_assign(m.sender, m.msg_id, MessageKind::app, std::move(m.payload),
+                  via_bb)) {
+    return;  // stalled (capacity/drain); expected unchanged, sender retries
+  }
+  ++ss.expected;
+  while (true) {
+    const auto held = ss.held.find(ss.expected);
+    if (held == ss.held.end()) break;
+    Buffer data = std::move(held->second.first);
+    const bool held_bb = held->second.second;
+    ss.held.erase(held);
+    if (!seq_assign(m.sender, ss.expected, MessageKind::app, std::move(data),
+                    held_bb)) {
+      break;  // re-held? dropped: the sender's retry re-offers it
+    }
+    ++ss.expected;
+  }
+}
+
+bool GroupMember::seq_assign(MemberId sender, std::uint32_t msg_id,
+                             MessageKind kind, Buffer data, bool via_bb) {
+  const bool app = kind == MessageKind::app;
+  if (app && (handoff_issued_ || leaving_)) {
+    // Draining for a hand-off (leave or transfer): refuse new work so the
+    // group can quiesce; the sender's retry reaches the next sequencer.
+    return false;
+  }
+  // Capacity: the span of undiscarded messages (next_assign_ - hist_base_)
+  // covers delivered history, tentatives, and in-flight local loopbacks.
+  const auto span = static_cast<std::size_t>(next_assign_ - hist_base_);
+  if (app && span >= cfg_.history_size) {
+    // No room: drop the request; the sender's retransmission timer owns
+    // recovery. This is the overload behaviour behind Figure 4's
+    // throughput collapse ("the protocol waits until timers expire to
+    // send retransmissions").
+    ++stats_.history_stalls;
+    seq_check_laggards();
+    return false;
+  }
+
+  const SeqNum s = next_assign_++;
+  if (app && sender != kInvalidMember) {
+    SenderState& ss = sender_state_[sender];
+    ss.recent.emplace(msg_id, s);
+    while (ss.recent.size() > 32) ss.recent.erase(ss.recent.begin());
+    // Flow control: sequencing the message releases its transmission slot.
+    if (cfg_.flow_control) seq_release_fc_slot(sender);
+  }
+  ++stats_.messages_sequenced;
+  // The sequencer's extra copy: history buffer -> Lance for the broadcast.
+  exec_.charge(exec_.costs().copy_time(data.size()));
+
+  WireMsg bc;
+  bc.seq = s;
+  bc.sender = sender;
+  bc.msg_id = msg_id;
+  bc.kind = kind;
+  bc.piggyback = next_deliver_;
+
+  if (cfg_.resilience > 0 && app) {
+    Tentative t;
+    t.msg.sender = sender;
+    t.msg.kind = kind;
+    t.msg.msg_id = msg_id;
+    t.msg.data = data;
+    t.msg.have_data = true;
+    t.awaiting = resil_ackers(sender);
+    t.created = exec_.now();
+    const bool none_needed = t.awaiting.empty();
+    tentative_.emplace(s, std::move(t));
+    if (tentative_sweep_timer_ == transport::kInvalidTimer) {
+      tentative_sweep_timer_ = exec_.set_timer(
+          cfg_.send_retry / 2, [this] { seq_tentative_sweep(); });
+    }
+    bc.flags = kFlagTentative;
+    if (via_bb) {
+      bc.type = WireType::seq_accept;  // data travelled with the BB send
+    } else {
+      bc.type = WireType::seq_data;
+      bc.payload = std::move(data);
+    }
+    multicast(std::move(bc));
+    if (none_needed) seq_finalize(s);
+  } else {
+    if (via_bb) {
+      bc.type = WireType::seq_accept;
+      // Keep the payload for retransmission service until local delivery
+      // (through the loopback + stash) lands it in the history buffer.
+      multicast(std::move(bc));
+    } else {
+      bc.type = WireType::seq_data;
+      bc.payload = std::move(data);
+      multicast(std::move(bc));
+    }
+  }
+
+  if (span + 1 >= cfg_.history_size * 3 / 4) seq_check_laggards();
+  return true;
+}
+
+std::set<MemberId> GroupMember::resil_ackers(MemberId sender) const {
+  // "Any r members besides the sending kernel would be fine, but to
+  // simplify the implementation we pick the r lowest-numbered." The
+  // sequencer's own member may be among them; its acknowledgement takes
+  // the local dispatch path (no wire traffic, but real processing).
+  std::set<MemberId> out;
+  for (const MemberInfo& m : members_) {
+    if (m.id < cfg_.resilience && m.id != sender) {
+      out.insert(m.id);
+    }
+  }
+  return out;
+}
+
+void GroupMember::seq_on_resil_ack(const WireMsg& m) {
+  const auto it = tentative_.find(m.seq);
+  if (it == tentative_.end()) return;
+  it->second.awaiting.erase(m.sender);
+  if (it->second.awaiting.empty()) seq_finalize(m.seq);
+}
+
+void GroupMember::seq_finalize(SeqNum seq) {
+  const auto it = tentative_.find(seq);
+  if (it == tentative_.end()) return;
+  Tentative t = std::move(it->second);
+  tentative_.erase(it);
+  // The short accept: members (and our own loopback) may now deliver.
+  WireMsg acc;
+  acc.type = WireType::seq_accept;
+  acc.seq = seq;
+  acc.sender = t.msg.sender;
+  acc.msg_id = t.msg.msg_id;
+  acc.kind = t.msg.kind;
+  acc.piggyback = next_deliver_;
+  multicast(std::move(acc));
+}
+
+void GroupMember::seq_tentative_sweep() {
+  tentative_sweep_timer_ = transport::kInvalidTimer;
+  if (!i_am_sequencer() || tentative_.empty()) return;
+  // A lost tentative broadcast or a lost acknowledgement would otherwise
+  // stall the message forever: re-offer stale tentatives to the members
+  // whose acks are still missing (they re-ack on duplicate tentatives).
+  const Time now = exec_.now();
+  for (const auto& [seq, t] : tentative_) {
+    if (now - t.created < cfg_.send_retry / 2) continue;
+    for (const MemberId m : t.awaiting) {
+      seq_serve_retransmit(m, seq);
+    }
+  }
+  tentative_sweep_timer_ =
+      exec_.set_timer(cfg_.send_retry / 2, [this] { seq_tentative_sweep(); });
+}
+
+void GroupMember::seq_catch_up(MemberId member, SeqNum from) {
+  // An idle status report revealed a member that never saw the tail of the
+  // stream (the lost broadcast had no successor to expose the gap). Push
+  // the missing messages; duplicates are harmless.
+  std::uint32_t served = 0;
+  for (SeqNum s = from;
+       seq_lt(s, next_assign_) && served < cfg_.nack_batch; ++s, ++served) {
+    seq_serve_retransmit(member, s);
+  }
+}
+
+void GroupMember::seq_on_nack(const WireMsg& m) {
+  for (SeqNum s = m.range_from;
+       seq_lt(s, m.range_from + m.range_count); ++s) {
+    seq_serve_retransmit(m.sender, s);
+  }
+}
+
+void GroupMember::seq_serve_retransmit(MemberId to, SeqNum seq) {
+  const MemberInfo* member = find_member(to);
+  flip::Address target;
+  if (member != nullptr) {
+    target = member->address;
+  } else {
+    // A departed member may still need the stream up to its own
+    // leave/expel event before it can finish leaving.
+    const auto dep = departed_.find(to);
+    if (dep == departed_.end() || seq_ge(seq, dep->second.second)) return;
+    target = dep->second.first;
+  }
+
+  WireMsg m;
+  m.type = WireType::retransmit;
+  m.seq = seq;
+  m.piggyback = next_deliver_;
+
+  if (const auto t = tentative_.find(seq); t != tentative_.end()) {
+    m.sender = t->second.msg.sender;
+    m.msg_id = t->second.msg.msg_id;
+    m.kind = t->second.msg.kind;
+    m.flags = kFlagTentative;
+    m.payload = t->second.msg.data;
+  } else if (seq_ge(seq, hist_base_) &&
+             seq_lt(seq, hist_base_ + static_cast<SeqNum>(history_.size()))) {
+    const GroupMessage& h = history_[seq - hist_base_];
+    m.sender = h.sender;
+    m.msg_id = h.sender_msg_id;
+    m.kind = h.kind;
+    m.payload = h.data;
+  } else if (const auto o = ooo_.find(seq);
+             o != ooo_.end() && o->second.have_data) {
+    // Accepted, our own loopback delivery still in flight.
+    m.sender = o->second.sender;
+    m.msg_id = o->second.msg_id;
+    m.kind = o->second.kind;
+    m.payload = o->second.data;
+  } else {
+    ++stats_.retransmit_misses;
+    return;
+  }
+  ++stats_.retransmits_served;
+  exec_.charge(exec_.costs().copy_time(m.payload.size()));
+  if (to == my_id_) return;  // we obviously have it
+  send_to_address(target, std::move(m));
+}
+
+void GroupMember::seq_note_horizon(MemberId member, SeqNum piggyback) {
+  if (!i_am_sequencer() || member == kInvalidMember) return;
+  auto [it, inserted] = horizon_.try_emplace(member, piggyback);
+  if (!inserted) {
+    if (seq_le(piggyback, it->second)) return;
+    it->second = piggyback;
+  }
+  detector_.clear(member);  // it answered; not a laggard
+  seq_trim_history();
+  if (leaving_ && !handoff_issued_) check_sequencer_handoff();
+}
+
+void GroupMember::seq_trim_history() {
+  if (!i_am_sequencer() || history_.empty()) return;
+  // A message may leave the history once every horizon has passed it:
+  // everyone delivered it, nobody can NACK it, and (for recovery) every
+  // survivor already applied it.
+  SeqNum min_h = next_deliver_;
+  for (const auto& [id, h] : horizon_) min_h = seq_min(min_h, h);
+  while (!history_.empty() && seq_lt(hist_base_, min_h)) {
+    history_.pop_front();
+    ++hist_base_;
+  }
+}
+
+void GroupMember::seq_check_laggards() {
+  if (!i_am_sequencer()) return;
+
+  // Who is holding the history back?
+  MemberId laggard = kInvalidMember;
+  SeqNum min_h = next_assign_;
+  for (const auto& [id, h] : horizon_) {
+    if (id == my_id_) continue;
+    if (seq_lt(h, min_h)) {
+      min_h = h;
+      laggard = id;
+    }
+  }
+  // Only a member pinning the history base is worth suspecting. The
+  // detector module owns the probe cadence and the declared-dead verdict
+  // (its callbacks send the status_req and issue the ordered expel).
+  if (laggard == kInvalidMember || seq_gt(min_h, hist_base_)) return;
+  detector_.suspect(laggard);
+}
+
+void GroupMember::seq_issue_membership(MessageKind kind,
+                                       const MembershipChange& change) {
+  assert(i_am_sequencer());
+  seq_assign(my_id_, 0, kind, encode_membership_change(change),
+             /*via_bb=*/false);
+}
+
+void GroupMember::seq_on_join(const WireMsg& m) {
+  const flip::Address joiner = m.addr;
+  if (joiner.is_null() || joiner == my_addr_) return;
+
+  if (const MemberInfo* existing = find_member_by_addr(joiner)) {
+    // The snapshot got lost; resend. The joiner's horizon entry has kept
+    // everything it might still need in the history.
+    seq_send_snapshot(existing->id, joiner);
+    return;
+  }
+  if (pending_joins_.count(joiner.id) > 0) return;  // join in flight
+
+  const MemberId id = next_member_id_++;
+  pending_joins_[joiner.id] = id;
+  MembershipChange c;
+  c.member = id;
+  c.address = joiner;
+  const SeqNum join_seq = next_assign_;  // the seq the join will get
+  seq_issue_membership(MessageKind::join, c);
+  // The joiner delivers from just past its own join event; pin the history
+  // there until it reports progress.
+  horizon_[id] = join_seq + 1;
+}
+
+void GroupMember::seq_send_snapshot(MemberId to_id, const flip::Address& to) {
+  Snapshot s;
+  s.incarnation = inc_;
+  s.your_id = to_id;
+  s.sequencer = my_id_;
+  s.next_member_id = next_member_id_;
+  const auto h = horizon_.find(to_id);
+  s.next_seq = h != horizon_.end() ? h->second : next_assign_;
+  s.members = members_;
+  WireMsg m;
+  m.type = WireType::join_snapshot;
+  m.sender = my_id_;
+  m.payload = encode_snapshot(s);
+  send_to_address(to, std::move(m));
+}
+
+void GroupMember::seq_on_leave(const WireMsg& m) {
+  const MemberId who = m.sender;
+  if (find_member(who) == nullptr) return;      // already gone
+  if (!pending_leaves_.insert(who).second) return;  // leave in flight
+  const MemberInfo* info = find_member(who);
+  MembershipChange c;
+  c.member = who;
+  c.address = info->address;
+  seq_issue_membership(MessageKind::leave, c);
+}
+
+void GroupMember::transfer_sequencer(MemberId to, StatusCb done) {
+  if (state_ != State::running || !i_am_sequencer() || leaving_) {
+    done(Status::invalid_argument);
+    return;
+  }
+  if (to == my_id_) {
+    done(Status::ok);  // already there
+    return;
+  }
+  if (find_member(to) == nullptr) {
+    done(Status::not_member);
+    return;
+  }
+  leaving_ = true;  // drain exactly like a departing sequencer
+  transfer_to_ = to;
+  transfer_done_ = std::move(done);
+  check_sequencer_handoff();
+}
+
+// --- Multicast flow control (extension) ------------------------------------
+
+void GroupMember::seq_on_rts(const WireMsg& m) {
+  if (find_member(m.sender) == nullptr) return;
+  if (fc_granted_.count(m.sender) > 0) {
+    seq_send_cts(m.sender, m.msg_id);  // CTS was lost: re-grant
+    return;
+  }
+  for (const auto& [member, msg_id] : fc_queue_) {
+    if (member == m.sender) return;  // already waiting
+  }
+  if (fc_granted_.size() < static_cast<std::size_t>(cfg_.fc_slots)) {
+    fc_granted_.insert(m.sender);
+    seq_send_cts(m.sender, m.msg_id);
+  } else {
+    fc_queue_.emplace_back(m.sender, m.msg_id);
+  }
+}
+
+void GroupMember::seq_send_cts(MemberId to, std::uint32_t msg_id) {
+  const MemberInfo* member = find_member(to);
+  if (member == nullptr) return;
+  WireMsg cts;
+  cts.type = WireType::fc_cts;
+  cts.sender = my_id_;
+  cts.msg_id = msg_id;
+  cts.piggyback = next_deliver_;
+  send_to_address(member->address, std::move(cts));
+}
+
+void GroupMember::seq_release_fc_slot(MemberId member) {
+  if (fc_granted_.erase(member) > 0) seq_grant_next_fc();
+}
+
+void GroupMember::seq_grant_next_fc() {
+  while (fc_granted_.size() < static_cast<std::size_t>(cfg_.fc_slots) &&
+         !fc_queue_.empty()) {
+    const auto [member, msg_id] = fc_queue_.front();
+    fc_queue_.pop_front();
+    if (find_member(member) == nullptr) continue;  // departed while queued
+    fc_granted_.insert(member);
+    seq_send_cts(member, msg_id);
+  }
+}
+
+void GroupMember::check_sequencer_handoff() {
+  if (!leaving_ || !i_am_sequencer() || handoff_issued_) return;
+
+  if (members_.size() == 1 && !transfer_to_.has_value()) {
+    // Last member out: the group dissolves.
+    leaving_ = false;
+    state_ = State::left;
+    flip_.leave_group(gaddr_);
+    auto done = std::move(leave_done_);
+    leave_done_ = nullptr;
+    if (done) done(Status::ok);
+    return;
+  }
+
+  // Hand off only when the group is drained: everything assigned has been
+  // delivered everywhere, so the successor can start with a clean history.
+  if (!tentative_.empty() || !outs_.empty()) return;
+  if (next_deliver_ != next_assign_) return;
+  for (const MemberInfo& m : members_) {
+    const auto h = horizon_.find(m.id);
+    if (h == horizon_.end() || seq_lt(h->second, next_assign_)) {
+      // Prod the stragglers.
+      if (m.id != my_id_) {
+        WireMsg req;
+        req.type = WireType::status_req;
+        req.sender = my_id_;
+        req.piggyback = next_deliver_;
+        send_to_address(m.address, std::move(req));
+      }
+      return;
+    }
+  }
+
+  MemberId successor = kInvalidMember;
+  if (transfer_to_.has_value()) {
+    if (find_member(*transfer_to_) == nullptr) {
+      // The designated successor vanished while we drained.
+      leaving_ = false;
+      transfer_to_.reset();
+      auto done = std::move(transfer_done_);
+      transfer_done_ = nullptr;
+      if (done) done(Status::not_member);
+      return;
+    }
+    successor = *transfer_to_;
+  } else {
+    for (const MemberInfo& m : members_) {
+      if (m.id != my_id_ &&
+          (successor == kInvalidMember || m.id < successor)) {
+        successor = m.id;
+      }
+    }
+  }
+  handoff_issued_ = true;
+  MembershipChange c;
+  c.member = my_id_;
+  c.address = my_addr_;
+  c.new_sequencer = successor;
+  seq_issue_membership(
+      transfer_to_.has_value() ? MessageKind::handoff : MessageKind::leave, c);
+}
+
+}  // namespace amoeba::group

@@ -1,0 +1,99 @@
+// Simulation harness: a group of Amoeba processes on the simulated testbed.
+//
+// Wires one FLIP stack and one GroupMember onto each simulated node, forms
+// the group, and models the user level (the blocking SendToGroup /
+// ReceiveFromGroup pair and its thread context switches) so experiments
+// charge the same per-layer costs the paper's Table 3 reports. Used by the
+// test suite, every bench binary, and the simulator examples.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "flip/stack.hpp"
+#include "group/config.hpp"
+#include "group/member.hpp"
+#include "sim/world.hpp"
+#include "transport/sim_runtime.hpp"
+
+namespace amoeba::group {
+
+/// One simulated process: node + stack + member + user-level model.
+class SimProcess {
+ public:
+  SimProcess(sim::Node& node, flip::Address addr, GroupConfig cfg);
+
+  sim::Node& node() { return node_; }
+  transport::SimExecutor& exec() { return exec_; }
+  flip::FlipStack& flip() { return flip_; }
+  GroupMember& member() { return *member_; }
+
+  /// User-level SendToGroup: charges the syscall cost (U1), then runs the
+  /// protocol send; `done` fires when the send completes.
+  void user_send(Buffer data, GroupMember::StatusCb done);
+
+  /// All messages delivered to this process, in order.
+  const std::vector<GroupMessage>& delivered() const { return delivered_; }
+  std::uint64_t delivered_count() const { return delivered_.size(); }
+  /// Retain only per-message counters, not payloads (long throughput runs).
+  void set_keep_payloads(bool keep) { keep_payloads_ = keep; }
+
+  /// Views observed (create/join/leave/expel/recovery).
+  const std::vector<ViewChange>& views() const { return views_; }
+  /// Local failure notification, if any.
+  std::optional<Status> fault() const { return fault_; }
+
+  /// Hook invoked (in executor context) after each user-level delivery.
+  void set_on_deliver(std::function<void(const GroupMessage&)> fn) {
+    on_deliver_ = std::move(fn);
+  }
+
+ private:
+  sim::Node& node_;
+  transport::SimExecutor exec_;
+  transport::SimDevice dev_;
+  flip::FlipStack flip_;
+  std::unique_ptr<GroupMember> member_;
+
+  std::vector<GroupMessage> delivered_;
+  std::vector<ViewChange> views_;
+  std::optional<Status> fault_;
+  std::function<void(const GroupMessage&)> on_deliver_;
+  bool keep_payloads_{true};
+  Time last_delivery_{-1'000'000'000};
+};
+
+/// A whole experiment: N nodes on one Ethernet, one group across them.
+class SimGroupHarness {
+ public:
+  SimGroupHarness(std::size_t n_processes, GroupConfig cfg,
+                  sim::CostModel model = sim::CostModel::mc68030_ether10(),
+                  std::uint64_t seed = 1);
+
+  /// Process 0 creates the group; 1..n-1 join. Runs the engine until the
+  /// group is fully formed. Returns false if formation failed.
+  bool form_group();
+
+  sim::World& world() { return world_; }
+  sim::Engine& engine() { return world_.engine(); }
+  SimProcess& process(std::size_t i) { return *procs_.at(i); }
+  std::size_t size() const { return procs_.size(); }
+  flip::Address group_addr() const { return gaddr_; }
+
+  /// Add another process (e.g. a late joiner) on a fresh node.
+  SimProcess& add_process();
+
+  /// Run until `pred()` or until `deadline` of simulated time passes.
+  /// Returns whether the predicate became true.
+  bool run_until(const std::function<bool()>& pred, Duration deadline);
+
+ private:
+  GroupConfig cfg_;
+  sim::World world_;
+  flip::Address gaddr_;
+  std::vector<std::unique_ptr<SimProcess>> procs_;
+  std::uint64_t next_addr_{1};
+};
+
+}  // namespace amoeba::group

@@ -1,0 +1,119 @@
+#include "group/state_transfer.hpp"
+
+#include "common/logging.hpp"
+
+namespace amoeba::group {
+
+namespace {
+// Fetch requests/replies are tagged so they coexist with application RPC
+// traffic on the same endpoint.
+constexpr std::uint32_t kFetchMagic = 0x53545831;  // "STX1"
+}  // namespace
+
+StateTransfer::StateTransfer(rpc::RpcEndpoint& rpc, Callbacks cbs)
+    : rpc_(rpc), cbs_(std::move(cbs)) {
+  rpc_.set_request_handler([this](const rpc::RpcEndpoint::Request& req) {
+    BufReader r(req.data);
+    if (r.remaining() >= 4) {
+      BufReader peek(req.data);
+      if (peek.u32() == kFetchMagic) {
+        // State fetch: reply (as_of, snapshot) cut atomically right now.
+        // The cut is the APPLICATION's position (next_apply_seq_), which
+        // may trail the member's kernel horizon by queued user work; a
+        // provider that is itself mid-fetch cannot serve.
+        BufWriter w;
+        w.u32(kFetchMagic);
+        if (serving_ == nullptr || !cbs_.snapshot || fetching_) {
+          w.u8(0);  // not serving
+        } else {
+          w.u8(1);
+          w.u32(next_apply_seq_.value_or(serving_->info().next_seq));
+          w.bytes(cbs_.snapshot());
+        }
+        rpc_.reply(req, std::move(w).take());
+        return;
+      }
+    }
+    if (app_handler_) app_handler_(req);
+  });
+}
+
+void StateTransfer::serve(GroupMember& member) { serving_ = &member; }
+
+void StateTransfer::on_delivery(const GroupMessage& m) {
+  if (fetching_) {
+    pending_.push_back(m);
+    return;
+  }
+  if (apply_ && should_apply(m.seq)) apply_(m);
+  next_apply_seq_ = m.seq + 1;
+}
+
+void StateTransfer::finish_fetch() {
+  fetching_ = false;
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (const GroupMessage& m : pending) {
+    if (apply_ && should_apply(m.seq)) apply_(m);
+    next_apply_seq_ = m.seq + 1;
+  }
+}
+
+void StateTransfer::fetch(GroupMember& member, FetchCb done) {
+  fetching_ = true;
+  try_fetch_from(member, 0,
+                 [this, done = std::move(done)](Result<SeqNum> r) {
+                   finish_fetch();
+                   done(std::move(r));
+                 });
+}
+
+void StateTransfer::try_fetch_from(GroupMember& member, std::size_t candidate,
+                                   FetchCb done) {
+  const GroupInfo info = member.info();
+  // Candidate providers: every member except ourselves, in id order,
+  // reached at the companion RPC address of their member endpoint.
+  std::vector<flip::Address> providers;
+  for (const MemberInfo& m : info.members) {
+    if (m.id != info.my_id) providers.push_back(rpc_companion(m.address));
+  }
+  if (providers.empty()) {
+    // Sole member: nothing to transfer, apply everything.
+    as_of_.reset();
+    done(info.next_seq);
+    return;
+  }
+  if (candidate >= providers.size()) {
+    done(Status::timeout);
+    return;
+  }
+
+  BufWriter w;
+  w.u32(kFetchMagic);
+  rpc_.call(providers[candidate], std::move(w).take(),
+            [this, &member, candidate, done = std::move(done)](
+                Result<Buffer> r) mutable {
+              if (!r.ok()) {
+                try_fetch_from(member, candidate + 1, std::move(done));
+                return;
+              }
+              BufReader reader(r.value());
+              const std::uint32_t magic = reader.u32();
+              const std::uint8_t served = reader.u8();
+              if (magic != kFetchMagic || served == 0) {
+                try_fetch_from(member, candidate + 1, std::move(done));
+                return;
+              }
+              const SeqNum as_of = reader.u32();
+              const Buffer snapshot = reader.bytes();
+              if (!reader.ok()) {
+                done(Status::bad_message);
+                return;
+              }
+              if (cbs_.install) cbs_.install(snapshot);
+              as_of_ = as_of;
+              done(as_of);
+            });
+}
+
+}  // namespace amoeba::group

@@ -1,0 +1,119 @@
+// Atomic state transfer for (re)joining members.
+//
+// Section 5: "the system did not have good support for a process
+// (re)joining a given group. A library for atomic state transfer as
+// provided in Isis would have again simplified building these
+// fault-tolerant programs." This is that library.
+//
+// The idea: a member's application state is a deterministic function of
+// the prefix of the totally-ordered stream it has applied. A provider can
+// therefore hand a joiner (snapshot, as_of) where `as_of` is the sequence
+// number of the first message NOT folded into the snapshot — taken
+// atomically between deliveries, so the cut is exact. The joiner installs
+// the snapshot and applies only deliveries with seq >= as_of; everything
+// below was already part of the snapshot. No messages are missed and none
+// are applied twice.
+//
+// Transport: one RPC to any existing member (the paper's modules compose:
+// the group provides the ordered stream and the membership, RPC provides
+// the point-to-point fetch).
+//
+// Usage, provider side (every standing member):
+//   StateTransfer st(rpc, {.snapshot = [&]{ return serialize(state); }});
+//   st.serve(group_member);          // answers fetch requests
+//
+// Usage, joiner side:
+//   member.join_group(gaddr, ...);   // normal join
+//   st.fetch(group_member, [&](Result<SeqNum> as_of) {
+//     // install() was already called; gate applies with st.should_apply()
+//   });
+//
+// Both sides gate their apply path with `should_apply(seq)`.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/seqnum.hpp"
+#include "group/member.hpp"
+#include "rpc/rpc.hpp"
+
+namespace amoeba::group {
+
+/// The RPC endpoint that accompanies a group member: a deterministic
+/// companion of the member's FLIP address, so peers can reach any
+/// member's state-transfer service knowing only the membership list.
+constexpr flip::Address rpc_companion(flip::Address member_addr) noexcept {
+  return flip::Address{member_addr.id | (0x04ULL << 56)};
+}
+
+class StateTransfer {
+ public:
+  struct Callbacks {
+    /// Serialize the application state (called between deliveries — the
+    /// cut is atomic with respect to the ordered stream).
+    std::function<Buffer()> snapshot;
+    /// Overwrite the application state from a snapshot (joiner side).
+    std::function<void(const Buffer&)> install;
+  };
+
+  /// `rpc` carries the fetch traffic and must be registered at
+  /// `rpc_companion(<my member address>)` so peers can find it; its
+  /// request handler is claimed by this class — chain application RPCs
+  /// through `set_app_handler`.
+  StateTransfer(rpc::RpcEndpoint& rpc, Callbacks cbs);
+
+  /// Application-level RPC requests that are not state fetches.
+  void set_app_handler(rpc::RpcEndpoint::RequestHandler handler) {
+    app_handler_ = std::move(handler);
+  }
+
+  /// Provider side: answer fetch requests with (as_of, snapshot). The
+  /// member reference supplies the current delivery horizon.
+  void serve(GroupMember& member);
+
+  /// Joiner side: fetch state from the lowest-id other member of the
+  /// group `member` just joined. On success `install` has run and
+  /// `should_apply` gates the stream. Retries through alternate members
+  /// if the first provider does not answer.
+  using FetchCb = std::function<void(Result<SeqNum>)>;
+  void fetch(GroupMember& member, FetchCb done);
+
+  /// True when the ordered delivery at `seq` must be applied (i.e. it is
+  /// not already folded into an installed snapshot).
+  bool should_apply(SeqNum seq) const {
+    return !as_of_.has_value() || seq_ge(seq, *as_of_);
+  }
+  std::optional<SeqNum> as_of() const { return as_of_; }
+
+  /// Convenience pipeline: route ordered deliveries through here and give
+  /// the real apply function to `set_apply`. While a fetch is in flight,
+  /// deliveries are buffered; when the snapshot lands they are replayed
+  /// through the `should_apply` gate — so a joiner can wire its callbacks
+  /// once and never see a message twice.
+  void set_apply(std::function<void(const GroupMessage&)> apply) {
+    apply_ = std::move(apply);
+  }
+  void on_delivery(const GroupMessage& m);
+
+ private:
+  void try_fetch_from(GroupMember& member, std::size_t candidate,
+                      FetchCb done);
+  void finish_fetch();
+
+  rpc::RpcEndpoint& rpc_;
+  Callbacks cbs_;
+  rpc::RpcEndpoint::RequestHandler app_handler_;
+  GroupMember* serving_{nullptr};
+  std::optional<SeqNum> as_of_;
+  std::function<void(const GroupMessage&)> apply_;
+  bool fetching_{false};
+  std::vector<GroupMessage> pending_;
+  /// The seq just past the last delivery routed through on_delivery: the
+  /// exact position of the *application* state, which may trail the
+  /// member's kernel-level horizon by queued user-level work. Snapshots
+  /// must cut here, not at the kernel horizon.
+  std::optional<SeqNum> next_apply_seq_;
+};
+
+}  // namespace amoeba::group

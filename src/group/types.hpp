@@ -1,0 +1,85 @@
+// Public types of the Amoeba group communication API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/seqnum.hpp"
+#include "flip/address.hpp"
+
+namespace amoeba::group {
+
+/// Stable member identifier within one group. Assigned by the sequencer in
+/// join order, never reused within a group's lifetime. The resilience
+/// protocol's "r lowest-numbered members" rule uses these ids.
+using MemberId = std::uint32_t;
+constexpr MemberId kInvalidMember = ~MemberId{0};
+
+/// Group incarnation: bumped by every successful ResetGroup. Messages from
+/// older incarnations are discarded.
+using Incarnation = std::uint32_t;
+
+/// What a delivered message is. Membership changes travel in the same
+/// totally-ordered stream as data ("even the events of a new member
+/// joining ... are totally-ordered", Section 2).
+enum class MessageKind : std::uint8_t {
+  app = 0,     // application data from SendToGroup
+  join,        // payload: MembershipChange
+  leave,       // payload: MembershipChange
+  expel,       // member declared dead by the sequencer's failure detector
+  /// Sequencer hand-off without departure: the old sequencer stays a
+  /// regular member. This is the "migrating sequencer" the paper's
+  /// retrospective recommends for bursty senders (Section 5); moving the
+  /// role to the busiest sender makes its requests local.
+  handoff,
+};
+
+/// One totally-ordered delivery handed to the application.
+struct GroupMessage {
+  SeqNum seq{0};
+  MemberId sender{kInvalidMember};
+  MessageKind kind{MessageKind::app};
+  /// Sender-local message counter; lets a rebuilt sequencer suppress
+  /// duplicates of messages that survived into the recovered history.
+  std::uint32_t sender_msg_id{0};
+  Buffer data;
+};
+
+/// Decoded payload of join/leave/expel system messages.
+struct MembershipChange {
+  MemberId member{kInvalidMember};
+  flip::Address address;
+  /// For handoff on sequencer leave: who sequences from now on.
+  MemberId new_sequencer{kInvalidMember};
+};
+
+struct MemberInfo {
+  MemberId id{kInvalidMember};
+  flip::Address address;
+};
+
+/// Result of GetInfoGroup (Table 1).
+struct GroupInfo {
+  flip::Address group;
+  Incarnation incarnation{0};
+  MemberId my_id{kInvalidMember};
+  MemberId sequencer{kInvalidMember};
+  std::uint32_t resilience{0};
+  SeqNum next_seq{0};  // next sequence number to be delivered locally
+  std::vector<MemberInfo> members;
+
+  bool i_am_sequencer() const { return my_id == sequencer; }
+  std::size_t size() const { return members.size(); }
+};
+
+/// Installed after any membership event or recovery.
+struct ViewChange {
+  Incarnation incarnation{0};
+  MemberId sequencer{kInvalidMember};
+  std::vector<MemberInfo> members;
+  bool from_recovery{false};
+};
+
+}  // namespace amoeba::group

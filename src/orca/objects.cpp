@@ -1,0 +1,214 @@
+#include "orca/objects.hpp"
+
+namespace amoeba::orca {
+
+namespace {
+enum class IntOp : std::uint8_t { add = 1, take_min = 2, store = 3 };
+enum class QueueOp : std::uint8_t { push = 1, claim = 2, complete = 3 };
+}  // namespace
+
+// --- SharedInteger ---------------------------------------------------------
+
+Buffer SharedInteger::op_add(std::int64_t delta) {
+  BufWriter w(9);
+  w.u8(static_cast<std::uint8_t>(IntOp::add));
+  w.i64(delta);
+  return std::move(w).take();
+}
+
+Buffer SharedInteger::op_take_min(std::int64_t candidate) {
+  BufWriter w(9);
+  w.u8(static_cast<std::uint8_t>(IntOp::take_min));
+  w.i64(candidate);
+  return std::move(w).take();
+}
+
+Buffer SharedInteger::op_store(std::int64_t value) {
+  BufWriter w(9);
+  w.u8(static_cast<std::uint8_t>(IntOp::store));
+  w.i64(value);
+  return std::move(w).take();
+}
+
+void SharedInteger::apply(const Buffer& op) {
+  BufReader r(op);
+  const auto type = static_cast<IntOp>(r.u8());
+  const std::int64_t arg = r.i64();
+  if (!r.ok()) return;
+  switch (type) {
+    case IntOp::add: value_ += arg; break;
+    case IntOp::take_min: value_ = std::min(value_, arg); break;
+    case IntOp::store: value_ = arg; break;
+  }
+}
+
+Buffer SharedInteger::snapshot() const {
+  BufWriter w(8);
+  w.i64(value_);
+  return std::move(w).take();
+}
+
+void SharedInteger::install(const Buffer& state) {
+  BufReader r(state);
+  value_ = r.i64();
+}
+
+// --- SharedDictionary --------------------------------------------------------
+
+namespace {
+enum class DictOp : std::uint8_t { set = 1, erase = 2, clear = 3 };
+}  // namespace
+
+Buffer SharedDictionary::op_set(const std::string& key, const Buffer& value) {
+  BufWriter w(9 + key.size() + value.size());
+  w.u8(static_cast<std::uint8_t>(DictOp::set));
+  w.str(key);
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+Buffer SharedDictionary::op_erase(const std::string& key) {
+  BufWriter w(5 + key.size());
+  w.u8(static_cast<std::uint8_t>(DictOp::erase));
+  w.str(key);
+  return std::move(w).take();
+}
+
+Buffer SharedDictionary::op_clear() {
+  BufWriter w(1);
+  w.u8(static_cast<std::uint8_t>(DictOp::clear));
+  return std::move(w).take();
+}
+
+void SharedDictionary::apply(const Buffer& op) {
+  BufReader r(op);
+  const auto type = static_cast<DictOp>(r.u8());
+  switch (type) {
+    case DictOp::set: {
+      const std::string key = r.str();
+      Buffer value = r.bytes();
+      if (r.ok()) table_[key] = std::move(value);
+      break;
+    }
+    case DictOp::erase: {
+      const std::string key = r.str();
+      if (r.ok()) table_.erase(key);
+      break;
+    }
+    case DictOp::clear:
+      table_.clear();
+      break;
+  }
+}
+
+Buffer SharedDictionary::snapshot() const {
+  BufWriter w;
+  w.u32(static_cast<std::uint32_t>(table_.size()));
+  for (const auto& [key, value] : table_) {
+    w.str(key);
+    w.bytes(value);
+  }
+  return std::move(w).take();
+}
+
+void SharedDictionary::install(const Buffer& state) {
+  BufReader r(state);
+  table_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const std::string key = r.str();
+    table_[key] = r.bytes();
+  }
+}
+
+// --- SharedJobQueue ---------------------------------------------------------
+
+const Buffer* SharedJobQueue::assignment(std::uint32_t worker) const {
+  const auto it = assignments_.find(worker);
+  return it == assignments_.end() ? nullptr : &it->second;
+}
+
+Buffer SharedJobQueue::op_push(const Buffer& job) {
+  BufWriter w(5 + job.size());
+  w.u8(static_cast<std::uint8_t>(QueueOp::push));
+  w.bytes(job);
+  return std::move(w).take();
+}
+
+Buffer SharedJobQueue::op_claim(std::uint32_t worker) {
+  BufWriter w(5);
+  w.u8(static_cast<std::uint8_t>(QueueOp::claim));
+  w.u32(worker);
+  return std::move(w).take();
+}
+
+Buffer SharedJobQueue::op_complete(std::uint32_t worker) {
+  BufWriter w(5);
+  w.u8(static_cast<std::uint8_t>(QueueOp::complete));
+  w.u32(worker);
+  return std::move(w).take();
+}
+
+void SharedJobQueue::apply(const Buffer& op) {
+  BufReader r(op);
+  const auto type = static_cast<QueueOp>(r.u8());
+  switch (type) {
+    case QueueOp::push: {
+      Buffer job = r.bytes();
+      if (!r.ok()) return;
+      jobs_.push_back(std::move(job));
+      ++pushed_;
+      break;
+    }
+    case QueueOp::claim: {
+      const std::uint32_t worker = r.u32();
+      if (!r.ok()) return;
+      // Deterministic: the head job goes to the claimer; a claim against
+      // an empty queue or by a still-busy worker is a no-op everywhere
+      // (the worker sees no assignment and may retry later).
+      if (jobs_.empty() || assignments_.count(worker) > 0) return;
+      assignments_.emplace(worker, std::move(jobs_.front()));
+      jobs_.pop_front();
+      break;
+    }
+    case QueueOp::complete: {
+      const std::uint32_t worker = r.u32();
+      if (!r.ok()) return;
+      if (assignments_.erase(worker) > 0) ++completed_;
+      break;
+    }
+  }
+}
+
+Buffer SharedJobQueue::snapshot() const {
+  BufWriter w;
+  w.u32(static_cast<std::uint32_t>(jobs_.size()));
+  for (const Buffer& j : jobs_) w.bytes(j);
+  w.u32(static_cast<std::uint32_t>(assignments_.size()));
+  for (const auto& [worker, job] : assignments_) {
+    w.u32(worker);
+    w.bytes(job);
+  }
+  w.u64(pushed_);
+  w.u64(completed_);
+  return std::move(w).take();
+}
+
+void SharedJobQueue::install(const Buffer& state) {
+  BufReader r(state);
+  jobs_.clear();
+  assignments_.clear();
+  const std::uint32_t n_jobs = r.u32();
+  for (std::uint32_t i = 0; i < n_jobs && r.ok(); ++i) {
+    jobs_.push_back(r.bytes());
+  }
+  const std::uint32_t n_assign = r.u32();
+  for (std::uint32_t i = 0; i < n_assign && r.ok(); ++i) {
+    const std::uint32_t worker = r.u32();
+    assignments_.emplace(worker, r.bytes());
+  }
+  pushed_ = r.u64();
+  completed_ = r.u64();
+}
+
+}  // namespace amoeba::orca

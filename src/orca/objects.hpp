@@ -1,0 +1,103 @@
+// Ready-made shared objects: the data types Orca programs on Amoeba used
+// most — a shared integer (global bounds, counters) and a replicated job
+// queue with deterministic work assignment and termination detection
+// (branch-and-bound, master/worker parallelism).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "orca/shared_object.hpp"
+
+namespace amoeba::orca {
+
+/// A replicated integer. Reads are local; `add`/`take_min`/`store` are
+/// broadcast write operations.
+class SharedInteger final : public SharedObject {
+ public:
+  explicit SharedInteger(std::int64_t initial = 0) : value_(initial) {}
+
+  /// Local read: reflects every write that has been applied here.
+  std::int64_t value() const { return value_; }
+
+  // --- Write-operation encoders (pass to SharedObjectRuntime::write) ----
+  static Buffer op_add(std::int64_t delta);
+  /// value = min(value, candidate): the branch-and-bound bound update.
+  static Buffer op_take_min(std::int64_t candidate);
+  static Buffer op_store(std::int64_t value);
+
+  // --- SharedObject ------------------------------------------------------
+  void apply(const Buffer& op) override;
+  Buffer snapshot() const override;
+  void install(const Buffer& state) override;
+
+ private:
+  std::int64_t value_;
+};
+
+/// A replicated dictionary (string -> bytes): the directory-service shape
+/// (ref [18]) as a reusable object. Reads are local lookups; set/erase are
+/// broadcast writes.
+class SharedDictionary final : public SharedObject {
+ public:
+  // --- Local reads ---------------------------------------------------------
+  const Buffer* lookup(const std::string& key) const {
+    const auto it = table_.find(key);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+  std::size_t size() const { return table_.size(); }
+  const std::map<std::string, Buffer>& entries() const { return table_; }
+
+  // --- Write-operation encoders ---------------------------------------------
+  static Buffer op_set(const std::string& key, const Buffer& value);
+  static Buffer op_erase(const std::string& key);
+  static Buffer op_clear();
+
+  // --- SharedObject -----------------------------------------------------------
+  void apply(const Buffer& op) override;
+  Buffer snapshot() const override;
+  void install(const Buffer& state) override;
+
+ private:
+  std::map<std::string, Buffer> table_;
+};
+
+/// A replicated work queue. Jobs are opaque byte strings. Writes:
+///   - push(job): append work;
+///   - claim(worker): deterministically assign the head job to `worker`
+///     (every replica performs the same assignment, so the worker reads
+///     its job locally after its claim applies);
+///   - complete(worker): the worker finished its current job.
+/// Termination: the computation is done when the queue is empty and no
+/// worker holds a job — every replica reaches that verdict at the same
+/// point of the stream.
+class SharedJobQueue final : public SharedObject {
+ public:
+  // --- Local reads ---------------------------------------------------------
+  std::size_t pending() const { return jobs_.size(); }
+  std::size_t in_flight() const { return assignments_.size(); }
+  bool terminated() const { return jobs_.empty() && assignments_.empty(); }
+  /// The job currently assigned to `worker`, if any.
+  const Buffer* assignment(std::uint32_t worker) const;
+  std::uint64_t jobs_pushed() const { return pushed_; }
+  std::uint64_t jobs_completed() const { return completed_; }
+
+  // --- Write-operation encoders ---------------------------------------------
+  static Buffer op_push(const Buffer& job);
+  static Buffer op_claim(std::uint32_t worker);
+  static Buffer op_complete(std::uint32_t worker);
+
+  // --- SharedObject -----------------------------------------------------------
+  void apply(const Buffer& op) override;
+  Buffer snapshot() const override;
+  void install(const Buffer& state) override;
+
+ private:
+  std::deque<Buffer> jobs_;
+  std::map<std::uint32_t, Buffer> assignments_;
+  std::uint64_t pushed_{0};
+  std::uint64_t completed_{0};
+};
+
+}  // namespace amoeba::orca

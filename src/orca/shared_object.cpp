@@ -1,0 +1,91 @@
+#include "orca/shared_object.hpp"
+
+#include "common/logging.hpp"
+
+namespace amoeba::orca {
+
+namespace {
+enum class OpType : std::uint8_t { write = 1, checkpoint = 2 };
+
+Buffer encode_write(const std::string& name, const Buffer& op) {
+  BufWriter w(16 + name.size() + op.size());
+  w.u8(static_cast<std::uint8_t>(OpType::write));
+  w.str(name);
+  w.bytes(op);
+  return std::move(w).take();
+}
+
+Buffer encode_checkpoint(std::uint64_t id) {
+  BufWriter w(16);
+  w.u8(static_cast<std::uint8_t>(OpType::checkpoint));
+  w.u64(id);
+  return std::move(w).take();
+}
+}  // namespace
+
+SharedObjectRuntime::SharedObjectRuntime(group::GroupMember& member)
+    : member_(member) {}
+
+void SharedObjectRuntime::attach(const std::string& name,
+                                 SharedObject& object) {
+  objects_[name] = &object;
+}
+
+void SharedObjectRuntime::detach(const std::string& name) {
+  objects_.erase(name);
+}
+
+void SharedObjectRuntime::write(const std::string& name, Buffer op,
+                                StatusCb done) {
+  member_.send_to_group(encode_write(name, op), std::move(done));
+}
+
+void SharedObjectRuntime::checkpoint(std::uint64_t id, StatusCb done) {
+  member_.send_to_group(encode_checkpoint(id), std::move(done));
+}
+
+void SharedObjectRuntime::on_delivery(const group::GroupMessage& m) {
+  if (m.kind != group::MessageKind::app) return;
+  BufReader r(m.data);
+  const auto type = static_cast<OpType>(r.u8());
+  switch (type) {
+    case OpType::write: {
+      const std::string name = r.str();
+      const Buffer op = r.bytes();
+      if (!r.ok()) return;
+      const auto it = objects_.find(name);
+      if (it == objects_.end()) {
+        log_warn("orca", "write to unattached object '%s'", name.c_str());
+        return;
+      }
+      it->second->apply(op);
+      ++applied_;
+      break;
+    }
+    case OpType::checkpoint: {
+      const std::uint64_t id = r.u64();
+      if (!r.ok()) return;
+      // The marker's position in the total order IS the consistent cut:
+      // every member snapshots after the same prefix of writes.
+      if (on_checkpoint_) {
+        Checkpoint cp;
+        cp.at_seq = m.seq;
+        cp.id = id;
+        for (const auto& [name, obj] : objects_) {
+          cp.objects.emplace(name, obj->snapshot());
+        }
+        on_checkpoint_(cp);
+      }
+      break;
+    }
+  }
+}
+
+void SharedObjectRuntime::restore(const Checkpoint& checkpoint) {
+  for (const auto& [name, state] : checkpoint.objects) {
+    const auto it = objects_.find(name);
+    if (it != objects_.end()) it->second->install(state);
+  }
+}
+
+}  // namespace amoeba::orca

@@ -1,0 +1,105 @@
+// A shared-object runtime in the style of Orca's RTS on Amoeba.
+//
+// The paper's Section 5 reports that the group primitives' biggest client
+// was parallel programming with shared data ("Parallel programming using
+// shared objects and broadcasting", Tanenbaum, Kaashoek & Bal, IEEE
+// Computer 1992): an object is replicated on every processor; *read*
+// operations execute locally and cost nothing on the wire; *write*
+// operations are broadcast through the totally-ordered group, so every
+// replica applies the same writes in the same order and stays identical.
+//
+// This module implements that model on the group layer:
+//   - `SharedObject`: the application's replicated datum — it must apply
+//     operations deterministically and support snapshot/install (used by
+//     joiners and checkpoints).
+//   - `SharedObjectRuntime`: multiplexes any number of named objects over
+//     one group membership; routes ordered deliveries to the right
+//     object; broadcasts write operations.
+//   - Consistent checkpointing (the mechanism of "Transparent
+//     fault-tolerance in parallel Orca programs", ref [15]): a checkpoint
+//     marker is itself a totally-ordered broadcast, so every member
+//     snapshots at exactly the same point in the operation stream — a
+//     consistent global cut with no coordination beyond the broadcast.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "group/member.hpp"
+
+namespace amoeba::orca {
+
+/// A replicated object. Implementations must be deterministic: applying
+/// the same operations in the same order to the same state yields the
+/// same state on every replica.
+class SharedObject {
+ public:
+  virtual ~SharedObject() = default;
+
+  /// Apply one write operation (decoded from the bytes a writer passed to
+  /// SharedObjectRuntime::write). Runs at every replica, in total order.
+  virtual void apply(const Buffer& op) = 0;
+
+  /// Serialize / overwrite the full state (joiner & checkpoint support).
+  virtual Buffer snapshot() const = 0;
+  virtual void install(const Buffer& state) = 0;
+};
+
+/// A consistent global checkpoint: every attached object's state at one
+/// agreed point of the operation stream.
+struct Checkpoint {
+  SeqNum at_seq{0};
+  std::uint64_t id{0};
+  std::map<std::string, Buffer> objects;
+};
+
+class SharedObjectRuntime {
+ public:
+  using StatusCb = std::function<void(Status)>;
+
+  /// `member` must already be (or become) part of a group. Wire
+  /// `on_delivery` into the member's ordered-message callback.
+  explicit SharedObjectRuntime(group::GroupMember& member);
+
+  /// Attach a replicated object under `name`. Every member of the group
+  /// must attach the same names (with equivalent initial state) before
+  /// traffic flows.
+  void attach(const std::string& name, SharedObject& object);
+  void detach(const std::string& name);
+
+  /// Broadcast a write operation on object `name`. `done` fires when the
+  /// operation has been ordered and applied locally — at which point a
+  /// local read observes it (Orca's write semantics).
+  void write(const std::string& name, Buffer op, StatusCb done);
+
+  /// Feed the group's ordered deliveries through the runtime.
+  void on_delivery(const group::GroupMessage& m);
+
+  /// Request a consistent checkpoint: every member's `on_checkpoint`
+  /// callback fires with an identical Checkpoint (same id, same seq, same
+  /// object states). Any member may call this.
+  void checkpoint(std::uint64_t id, StatusCb done);
+  void set_on_checkpoint(std::function<void(const Checkpoint&)> fn) {
+    on_checkpoint_ = std::move(fn);
+  }
+
+  /// Restore all attached objects from a checkpoint (e.g. after the whole
+  /// computation restarts). Purely local; every member restores the same
+  /// checkpoint before resuming.
+  void restore(const Checkpoint& checkpoint);
+
+  /// Number of write operations applied locally so far.
+  std::uint64_t applied() const { return applied_; }
+
+ private:
+  group::GroupMember& member_;
+  std::map<std::string, SharedObject*> objects_;
+  std::function<void(const Checkpoint&)> on_checkpoint_;
+  std::uint64_t applied_{0};
+};
+
+}  // namespace amoeba::orca

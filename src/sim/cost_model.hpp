@@ -1,0 +1,117 @@
+// CPU and wire cost model, calibrated to the paper's testbed.
+//
+// The paper's measurements were taken on 20-MHz MC68030s with Lance
+// Ethernet interfaces on a 10 Mbit/s shared Ethernet. We reproduce the
+// *behaviour* of that testbed by charging, for every protocol action, the
+// per-layer critical-path costs the paper reports in Table 3 / Figure 2:
+//
+//   - Table 3 gives the per-layer time of one 0-byte SendToGroup /
+//     ReceiveFromGroup pair (group of 2, PB method): total 2740 us, of
+//     which the group protocol itself is 740 us ("The cost for the group
+//     protocol itself is 740 microseconds").
+//   - Section 4 gives the sequencer's per-message processing time as
+//     "almost 800 microseconds" (interrupt + driver + FLIP + broadcast
+//     protocol), bounding throughput at 1250 msg/s, achieved 815 msg/s.
+//   - Each additional member adds ~4 us to the delay.
+//   - Each resilience acknowledgement adds ~600 us.
+//   - The Lance buffers 32 packets of at most 1514 bytes.
+//   - Protocol headers total 116 bytes: 14 Ethernet + 2 flow control +
+//     40 FLIP + 28 group + 32 Amoeba user header.
+//
+// The default constants below reproduce those anchors; see
+// EXPERIMENTS.md for the calibration audit.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace amoeba::sim {
+
+struct CostModel {
+  // --- Wire ------------------------------------------------------------
+  /// Wire time per byte. 10 Mbit/s Ethernet = 0.8 us/byte.
+  double wire_us_per_byte = 0.8;
+  /// Fixed per-frame wire overhead (preamble + SFD + FCS + interframe gap,
+  /// ~20 byte-times at 10 Mbit/s).
+  Duration wire_frame_overhead = Duration::micros(16);
+  /// CSMA/CD slot time (collision window & backoff quantum).
+  Duration slot_time = Duration::nanos(51'200);
+  /// Maximum frame size on the wire, headers included (Lance/Ethernet).
+  std::size_t max_frame_bytes = 1514;
+  /// Minimum frame size on the wire.
+  std::size_t min_frame_bytes = 64;
+
+  // --- NIC / driver ----------------------------------------------------
+  /// Lance receive ring capacity in frames ("able to buffer 32 Ethernet
+  /// packets before the Lance overflowed and dropped packets").
+  int nic_rx_ring_frames = 32;
+  /// CPU time to hand one frame to the NIC (driver transmit path).
+  Duration eth_tx = Duration::micros(80);
+  /// CPU time to take the interrupt and drain one frame (receive path).
+  Duration eth_rx = Duration::micros(110);
+
+  // --- FLIP layer ------------------------------------------------------
+  /// CPU time to process one FLIP packet (either direction).
+  Duration flip_packet = Duration::micros(120);
+
+  // --- Group layer (Table 3: G1 + G2 + G3 = 740 us) ---------------------
+  /// G1: sender-side group protocol work per SendToGroup.
+  Duration group_send = Duration::micros(150);
+  /// G2: sequencer work to order + re-emit one message.
+  Duration group_sequence = Duration::micros(360);
+  /// G3: receiver-side group work to accept an ordered message.
+  Duration group_deliver = Duration::micros(230);
+  /// Additional sequencer bookkeeping per group member (the paper's
+  /// "each node adds 4 microseconds to the delay").
+  Duration group_per_member = Duration::micros(4);
+  /// Processing one resilience acknowledgement at the sequencer
+  /// ("each acknowledgement adds approximately 600 microseconds": the
+  /// ack frame costs eth_rx + flip + this).
+  Duration group_ack = Duration::micros(370);
+
+  // --- RPC layer (point-to-point baseline) ------------------------------
+  /// Client-side stub work per request or reply.
+  Duration rpc_client = Duration::micros(180);
+  /// Server-side work to dispatch a request / emit a reply. Calibrated so
+  /// a null RPC lands at the paper's 2.8 ms, 0.1 ms above the null group
+  /// send (Section 4).
+  Duration rpc_server = Duration::micros(390);
+
+  // --- User level --------------------------------------------------------
+  /// Syscall entry + argument handling for a blocking primitive (U1).
+  Duration user_send = Duration::micros(400);
+  /// Syscall-side completion of ReceiveFromGroup (copy-out bookkeeping).
+  Duration user_deliver = Duration::micros(150);
+  /// Waking a blocked thread ("most of the time spent in user space is
+  /// the context switch between the receiving and sending thread").
+  Duration ctx_switch = Duration::micros(400);
+
+  // --- Memory copies ------------------------------------------------------
+  /// memcpy throughput on a 20-MHz 68030, expressed as us per byte. A
+  /// receiver copies each message twice (Lance -> history buffer ->
+  /// user space); the sequencer three times (Section 4).
+  double copy_us_per_byte = 0.15;
+
+  /// Wire time for a frame of `wire_bytes` (headers included).
+  Duration wire_time(std::size_t wire_bytes) const noexcept {
+    const std::size_t n =
+        wire_bytes < min_frame_bytes ? min_frame_bytes : wire_bytes;
+    return Duration::from_micros_f(static_cast<double>(n) * wire_us_per_byte) +
+           wire_frame_overhead;
+  }
+
+  /// CPU time to copy `n` bytes once.
+  Duration copy_time(std::size_t n) const noexcept {
+    return Duration::from_micros_f(static_cast<double>(n) * copy_us_per_byte);
+  }
+
+  /// The paper's testbed: defaults above.
+  static CostModel mc68030_ether10() { return CostModel{}; }
+
+  /// A zero-cost model: only wire time remains. Used by functional tests
+  /// that care about protocol correctness, not timing.
+  static CostModel free();
+};
+
+}  // namespace amoeba::sim

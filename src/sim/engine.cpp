@@ -1,0 +1,64 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace amoeba::sim {
+
+TimerId Engine::schedule_at(Time t, std::function<void()> fn) {
+  assert(t >= now_);
+  const TimerId id = ++next_id_;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  alive_.insert(id);
+  return id;
+}
+
+bool Engine::cancel(TimerId id) {
+  if (id == kInvalidTimer || alive_.erase(id) == 0) return false;
+  // Lazy cancellation: the event stays queued but is skipped at dispatch.
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Engine::dispatch_one() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // skip cancelled
+    alive_.erase(ev.id);
+    assert(ev.at >= now_);
+    now_ = ev.at;
+    ++dispatched_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && dispatch_one()) {
+  }
+}
+
+void Engine::run_until(Time t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek past cancelled events to find the next live one.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().at > t) break;
+    dispatch_one();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+void Engine::run_steps(std::size_t n) {
+  stopped_ = false;
+  for (std::size_t i = 0; i < n && !stopped_; ++i) {
+    if (!dispatch_one()) break;
+  }
+}
+
+}  // namespace amoeba::sim

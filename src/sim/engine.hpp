@@ -1,0 +1,93 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded priority-queue scheduler with a virtual clock. All of
+// the reproduction's performance experiments run on this engine; the
+// protocol stack schedules CPU work, wire transmissions, and protocol
+// timers as events. Determinism: ties on time are broken by insertion
+// order, so a given seed always produces the same execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace amoeba::sim {
+
+/// Handle for a cancellable scheduled event.
+using TimerId = std::uint64_t;
+constexpr TimerId kInvalidTimer = 0;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now). Returns a handle
+  /// usable with `cancel`.
+  TimerId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` after `d` from now.
+  TimerId schedule(Duration d, std::function<void()> fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancel a pending event. Safe to call with an already-fired or invalid
+  /// id (no-op). Returns true iff the event was pending and is now dead.
+  bool cancel(TimerId id);
+
+  /// Run events until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Run events with time <= `t`; afterwards now() == t (if the run was not
+  /// stopped early).
+  void run_until(Time t);
+
+  /// Execute at most `n` events.
+  void run_steps(std::size_t n);
+
+  /// Request `run*` to return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Number of events dispatched since construction.
+  std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+
+  /// Number of events currently pending.
+  std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    TimerId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_one();
+
+  Time now_{0};
+  std::uint64_t next_seq_{1};
+  TimerId next_id_{1};
+  bool stopped_{false};
+  std::uint64_t dispatched_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> alive_;      // scheduled, not yet fired/cancelled
+  std::unordered_set<TimerId> cancelled_;  // cancelled, still in the queue
+};
+
+}  // namespace amoeba::sim

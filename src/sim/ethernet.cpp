@@ -1,0 +1,229 @@
+#include "sim/ethernet.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace amoeba::sim {
+
+namespace {
+/// Truncated binary exponential backoff: after the k-th collision wait a
+/// uniform number of slot times in [0, 2^min(k,10) - 1]. After 16 attempts
+/// the frame is abandoned (IEEE 802.3 behaviour).
+constexpr int kMaxAttempts = 16;
+constexpr int kBackoffCap = 10;
+}  // namespace
+
+EthernetSegment::EthernetSegment(Engine& engine, const CostModel& model,
+                                 std::uint64_t fault_seed)
+    : engine_(engine), model_(model), rng_(fault_seed) {}
+
+StationId EthernetSegment::attach(Nic* nic) {
+  const auto id = static_cast<StationId>(stations_.size());
+  stations_.push_back(nic);
+  nic->on_attached(id);
+  return id;
+}
+
+void EthernetSegment::request_transmit(StationId station) {
+  try_start(station, 0);
+}
+
+void EthernetSegment::try_start(StationId station, int attempts) {
+  Nic* nic = stations_.at(station);
+  if (nic->down() || nic->tx_front() == nullptr) {
+    nic->abort_tx();
+    return;
+  }
+  if (!busy_) {
+    tx_attempts_ = attempts;
+    begin_transmission(station);
+    return;
+  }
+  if (jamming_) {
+    // The medium carries a jam signal; this station joins the backoff set.
+    colliding_.push_back(PendingTx{station, attempts});
+    return;
+  }
+  if (engine_.now() - tx_start_ < model_.slot_time) {
+    // Within one slot of the transmission start: the new station could not
+    // yet sense the carrier -> collision.
+    ++collisions_;
+    engine_.cancel(tx_end_event_);
+    tx_end_event_ = kInvalidTimer;
+    colliding_.clear();
+    colliding_.push_back(PendingTx{tx_station_, tx_attempts_});
+    colliding_.push_back(PendingTx{station, attempts});
+    jamming_ = true;
+    // Jam for one slot, then resolve.
+    engine_.schedule(model_.slot_time, [this] { collide(); });
+    return;
+  }
+  // Carrier sensed: defer until the medium goes idle (1-persistent).
+  deferred_.push_back(PendingTx{station, attempts});
+}
+
+void EthernetSegment::begin_transmission(StationId station) {
+  assert(!busy_);
+  Nic* nic = stations_.at(station);
+  const Frame* frame = nic->tx_front();
+  assert(frame != nullptr);
+  busy_ = true;
+  jamming_ = false;
+  tx_start_ = engine_.now();
+  tx_station_ = station;
+  const Duration air = model_.wire_time(frame->wire_bytes);
+  busy_time_ += air;
+  tx_end_event_ = engine_.schedule(air, [this] { finish_transmission(); });
+}
+
+void EthernetSegment::collide() {
+  // Jam period over; every involved station backs off independently.
+  busy_ = false;
+  jamming_ = false;
+  tx_station_ = kBroadcastStation;
+  auto parties = std::move(colliding_);
+  colliding_.clear();
+  for (const PendingTx& p : parties) backoff(p.station, p.attempts + 1);
+  // Deferred stations now sense an idle medium.
+  auto woken = std::move(deferred_);
+  deferred_.clear();
+  for (const PendingTx& p : woken) {
+    engine_.schedule(Duration::zero(),
+                     [this, p] { try_start(p.station, p.attempts); });
+  }
+}
+
+void EthernetSegment::backoff(StationId station, int attempts) {
+  Nic* nic = stations_.at(station);
+  if (attempts >= kMaxAttempts) {
+    // Excessive collisions: abandon the frame (counts as lost on the wire;
+    // higher layers recover by retransmission).
+    ++frames_lost_;
+    (void)nic->pop_tx();
+    nic->transmit_done();
+    return;
+  }
+  const int exp = std::min(attempts, kBackoffCap);
+  const auto slots = rng_.below(1ULL << exp);
+  const Duration wait = model_.slot_time * static_cast<std::int64_t>(slots);
+  engine_.schedule(wait, [this, station, attempts] {
+    try_start(station, attempts);
+  });
+}
+
+void EthernetSegment::finish_transmission() {
+  assert(busy_ && !jamming_);
+  Nic* src = stations_.at(tx_station_);
+  busy_ = false;
+  tx_end_event_ = kInvalidTimer;
+  const StationId done_station = tx_station_;
+  tx_station_ = kBroadcastStation;
+
+  Frame frame = src->pop_tx();
+  // Deliver to the addressed station(s).
+  if (frame.dst == kBroadcastStation) {
+    for (StationId s = 0; s < stations_.size(); ++s) {
+      if (s == done_station) continue;
+      Nic* dst = stations_[s];
+      if (frame.mcast_filter != 0 && !dst->subscribed(frame.mcast_filter)) {
+        continue;  // MAC multicast filter: no interrupt at this host
+      }
+      deliver(frame, dst);
+    }
+  } else if (frame.dst < stations_.size()) {
+    deliver(frame, stations_[frame.dst]);
+  }
+
+  src->transmit_done();
+
+  // Medium idle: deferred stations contend now.
+  auto woken = std::move(deferred_);
+  deferred_.clear();
+  for (const PendingTx& p : woken) {
+    engine_.schedule(Duration::zero(),
+                     [this, p] { try_start(p.station, p.attempts); });
+  }
+}
+
+void EthernetSegment::deliver(const Frame& frame, Nic* nic) {
+  if (nic->down()) return;
+  int copies = 1;
+  if (faults_.loss_prob > 0 && rng_.chance(faults_.loss_prob)) {
+    ++frames_lost_;
+    return;
+  }
+  if (faults_.duplicate_prob > 0 && rng_.chance(faults_.duplicate_prob)) {
+    copies = 2;
+  }
+  for (int i = 0; i < copies; ++i) {
+    Frame copy = frame;
+    if (faults_.garble_prob > 0 && rng_.chance(faults_.garble_prob)) {
+      copy.garbled = true;
+      if (!copy.payload.empty()) {
+        copy.payload[rng_.below(copy.payload.size())] ^= 0xFF;
+      }
+      ++frames_garbled_;
+    }
+    ++frames_delivered_;
+    nic->frame_from_wire(std::move(copy));
+  }
+}
+
+// --- Nic ---------------------------------------------------------------
+
+Nic::Nic(EthernetSegment& segment, int rx_ring_frames)
+    : segment_(segment),
+      rx_ring_(static_cast<std::size_t>(rx_ring_frames)) {
+  segment.attach(this);
+}
+
+void Nic::send(Frame frame) {
+  if (down_) return;
+  frame.src = station_;
+  tx_queue_.push_back(std::move(frame));
+  if (!tx_pending_) {
+    tx_pending_ = true;
+    segment_.request_transmit(station_);
+  }
+}
+
+void Nic::frame_from_wire(Frame frame) {
+  if (down_) return;
+  if (!rx_ring_.try_push(std::move(frame))) {
+    ++rx_dropped_;  // Lance overflow: silent tail drop
+    return;
+  }
+  ++rx_delivered_;
+  if (interrupt_) interrupt_();
+}
+
+std::optional<Frame> Nic::take_rx() { return rx_ring_.try_pop(); }
+
+Frame Nic::pop_tx() {
+  assert(!tx_queue_.empty());
+  Frame f = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  ++tx_sent_;
+  return f;
+}
+
+void Nic::transmit_done() {
+  if (!tx_queue_.empty() && !down_) {
+    // Re-contend for the medium together with everyone else.
+    segment_.engine().schedule(Duration::zero(), [this] {
+      if (!tx_queue_.empty() && !down_) {
+        segment_.request_transmit(station_);
+      } else {
+        tx_pending_ = false;
+      }
+    });
+  } else {
+    tx_pending_ = false;
+  }
+}
+
+void Nic::abort_tx() { tx_pending_ = false; }
+
+}  // namespace amoeba::sim

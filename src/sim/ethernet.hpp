@@ -1,0 +1,199 @@
+// Shared-medium Ethernet and Lance NIC models.
+//
+// The paper's testbed is a single 10 Mbit/s Ethernet with Lance interfaces
+// that buffer 32 packets. Two of its measured phenomena come straight from
+// this hardware:
+//   - Figure 6's aggregate-throughput peak (~61 % utilization) and decline
+//     as more groups contend: CSMA/CD collisions.
+//   - Figure 4's throughput collapse for >= 4 KB messages: the sequencer's
+//     32-frame receive ring overflows while its CPU is busy, and dropped
+//     fragments force timeout-driven retransmission.
+// The model here is event-driven 1-persistent CSMA/CD with truncated binary
+// exponential backoff, and a fixed-size receive ring with tail drop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace amoeba::sim {
+
+/// Index of a NIC on its segment.
+using StationId = std::uint32_t;
+constexpr StationId kBroadcastStation = ~StationId{0};
+
+/// One Ethernet frame in flight. `wire_bytes` is the full on-wire size
+/// (payload + all protocol headers); `payload` is the FLIP packet.
+struct Frame {
+  StationId src{0};
+  StationId dst{kBroadcastStation};
+  /// For dst == kBroadcastStation: MAC-level multicast filter key. NICs not
+  /// subscribed to this key do not receive the frame (and take no
+  /// interrupt), like the Lance's multicast address filter. 0 = true
+  /// broadcast, delivered everywhere.
+  std::uint64_t mcast_filter{0};
+  std::size_t wire_bytes{0};
+  Buffer payload;
+  bool garbled{false};  // set by fault injection; receiver drops on CRC
+};
+
+/// Stochastic frame-level fault injection, applied on delivery to each
+/// receiving station independently (like real per-receiver noise).
+struct FaultPlan {
+  double loss_prob{0.0};       // frame silently lost
+  double duplicate_prob{0.0};  // frame delivered twice
+  double garble_prob{0.0};     // frame delivered with garbled bit(s)
+};
+
+class Nic;
+
+/// A single collision domain.
+class EthernetSegment {
+ public:
+  EthernetSegment(Engine& engine, const CostModel& model,
+                  std::uint64_t fault_seed = 1);
+
+  /// Attach a NIC; returns its station id.
+  StationId attach(Nic* nic);
+
+  /// Called by a NIC that has a frame at the head of its transmit queue.
+  /// The segment arbitrates the medium and eventually pops the frame and
+  /// delivers it (or abandons it after 16 collisions).
+  void request_transmit(StationId station);
+
+  void set_fault_plan(const FaultPlan& plan) { faults_ = plan; }
+  const FaultPlan& fault_plan() const { return faults_; }
+
+  // --- Statistics -------------------------------------------------------
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_lost() const { return frames_lost_; }
+  std::uint64_t frames_garbled() const { return frames_garbled_; }
+  std::uint64_t collisions() const { return collisions_; }
+  /// Total wire time consumed by successful transmissions (utilization).
+  Duration busy_time() const { return busy_time_; }
+
+  Engine& engine() { return engine_; }
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  struct PendingTx {
+    StationId station;
+    int attempts{0};
+  };
+
+  void try_start(StationId station, int attempts);
+  void begin_transmission(StationId station);
+  void collide();
+  void finish_transmission();
+  void backoff(StationId station, int attempts);
+  void deliver(const Frame& frame, Nic* nic);
+
+  Engine& engine_;
+  CostModel model_;
+  FaultPlan faults_;
+  Rng rng_;
+
+  std::vector<Nic*> stations_;
+
+  // Medium state.
+  bool busy_{false};
+  bool jamming_{false};
+  Time tx_start_{};
+  StationId tx_station_{kBroadcastStation};
+  int tx_attempts_{0};
+  TimerId tx_end_event_{kInvalidTimer};
+  std::vector<PendingTx> deferred_;   // carrier sensed: wait for idle
+  std::vector<PendingTx> colliding_;  // parties to the current collision
+
+  std::uint64_t frames_delivered_{0};
+  std::uint64_t frames_lost_{0};
+  std::uint64_t frames_garbled_{0};
+  std::uint64_t collisions_{0};
+  Duration busy_time_{};
+};
+
+/// Lance-style network interface: unbounded transmit queue (the sending
+/// kernel blocks at a higher layer), fixed receive ring with tail drop.
+class Nic {
+ public:
+  /// Attaches itself to `segment` on construction.
+  Nic(EthernetSegment& segment, int rx_ring_frames);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  StationId station() const { return station_; }
+
+  /// Queue a frame for transmission (src filled in automatically).
+  void send(Frame frame);
+
+  /// Subscribe this NIC's MAC multicast filter to `key`.
+  void subscribe(std::uint64_t key) { mcast_keys_.insert(key); }
+  void unsubscribe(std::uint64_t key) { mcast_keys_.erase(key); }
+  bool subscribed(std::uint64_t key) const {
+    return promiscuous_ || mcast_keys_.count(key) > 0;
+  }
+  /// Receive every multicast regardless of filter (FLIP routers forward
+  /// group traffic between segments and must hear all of it).
+  void set_promiscuous(bool on) { promiscuous_ = on; }
+
+  /// Receive path, called by the segment. Tail-drops when the ring is full.
+  void frame_from_wire(Frame frame);
+
+  /// The host drains one frame per interrupt service; nullopt when empty.
+  std::optional<Frame> take_rx();
+  std::size_t rx_pending() const { return rx_ring_.size(); }
+
+  /// Host interrupt hook: invoked once per frame that lands in the ring.
+  /// Never invoked for dropped frames — the Lance drops silently.
+  void set_interrupt_handler(std::function<void()> fn) {
+    interrupt_ = std::move(fn);
+  }
+
+  /// Power off: stop sending and receiving (processor crash).
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  // --- Segment-side interface --------------------------------------------
+  const Frame* tx_front() const {
+    return tx_queue_.empty() ? nullptr : &tx_queue_.front();
+  }
+  Frame pop_tx();
+  /// Segment finished (or abandoned) our head frame; continue or go idle.
+  void transmit_done();
+  /// Segment found nothing to send for us; clear the pending flag.
+  void abort_tx();
+  void on_attached(StationId id) { station_ = id; }
+
+  // --- Statistics ----------------------------------------------------------
+  std::uint64_t rx_dropped() const { return rx_dropped_; }
+  std::uint64_t rx_delivered() const { return rx_delivered_; }
+  std::uint64_t tx_sent() const { return tx_sent_; }
+  std::size_t tx_backlog() const { return tx_queue_.size(); }
+
+ private:
+  EthernetSegment& segment_;
+  StationId station_{kBroadcastStation};
+  std::deque<Frame> tx_queue_;
+  bool tx_pending_{false};
+  RingBuffer<Frame> rx_ring_;
+  std::unordered_set<std::uint64_t> mcast_keys_;
+  bool promiscuous_{false};
+  std::function<void()> interrupt_;
+  bool down_{false};
+
+  std::uint64_t rx_dropped_{0};
+  std::uint64_t rx_delivered_{0};
+  std::uint64_t tx_sent_{0};
+};
+
+}  // namespace amoeba::sim

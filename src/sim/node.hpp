@@ -1,0 +1,111 @@
+// A simulated processor.
+//
+// Each node models one single-core machine (the paper's 20-MHz MC68030):
+// all protocol processing, interrupt service, and user-level work serialize
+// on one CPU. The CPU is modeled as a busy-until horizon: scheduling work
+// of cost c at time t completes at max(t, busy_until) + c, which is what
+// produces the sequencer saturation the paper measures (815 msg/s against
+// a 1250 msg/s interrupt-path bound).
+//
+// Crash/restart: `crash()` freezes the node — queued CPU work, timers, and
+// the NIC all go dead; `restart()` brings the node back with empty state
+// (higher layers must rejoin their groups, as on real hardware).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/ethernet.hpp"
+
+namespace amoeba::sim {
+
+class Node {
+ public:
+  Node(Engine& engine, EthernetSegment& segment, const CostModel& model,
+       NodeId id);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+  Engine& engine() noexcept { return engine_; }
+  const CostModel& cost_model() const noexcept { return model_; }
+  Time now() const noexcept { return engine_.now(); }
+
+  /// Attach another NIC on a further Ethernet segment (routers and
+  /// multi-homed hosts). Returns the new port index; port 0 is the NIC
+  /// from construction. All ports share this node's one CPU.
+  std::size_t add_port(EthernetSegment& segment);
+  std::size_t port_count() const noexcept { return ports_.size(); }
+  Nic& nic(std::size_t port = 0) { return *ports_.at(port).nic; }
+
+  /// Run `fn` on this CPU after `cost` of compute, serialized behind any
+  /// backlog. The canonical way every layer executes.
+  void cpu(Duration cost, std::function<void()> fn);
+
+  /// Consume CPU time with no continuation (extends the busy horizon; used
+  /// for in-handler costs like memory copies).
+  void charge(Duration cost);
+
+  /// Earliest time the CPU can accept new work.
+  Time cpu_free() const noexcept {
+    return cpu_free_ > engine_.now() ? cpu_free_ : engine_.now();
+  }
+  /// Total CPU time consumed so far (for utilization reports).
+  Duration cpu_busy_total() const noexcept { return busy_total_; }
+
+  /// Handler invoked (on the CPU, after eth_rx cost) for each frame the
+  /// port's NIC delivers. Garbled frames are dropped before this point —
+  /// the model's stand-in for the Ethernet FCS check.
+  void set_frame_handler(std::function<void(Frame)> fn) {
+    set_port_frame_handler(0, std::move(fn));
+  }
+  void set_port_frame_handler(std::size_t port, std::function<void(Frame)> fn) {
+    ports_.at(port).handler = std::move(fn);
+  }
+
+  /// Protocol timer: fires `fn` after `d` unless cancelled or the node
+  /// crashes. Timers do not consume CPU; their handlers should.
+  TimerId set_timer(Duration d, std::function<void()> fn);
+  void cancel_timer(TimerId id) { engine_.cancel(id); }
+
+  /// Fail-stop crash: NIC down, pending work and timers dead.
+  void crash();
+  /// Power the node back on with a fresh epoch. State above this layer is
+  /// gone; protocols must re-initialize.
+  void restart();
+  bool crashed() const noexcept { return crashed_; }
+
+  // Statistics.
+  std::uint64_t frames_processed() const noexcept { return frames_processed_; }
+  std::uint64_t interrupts_taken() const noexcept { return interrupts_taken_; }
+
+ private:
+  struct Port {
+    std::unique_ptr<Nic> nic;
+    std::function<void(Frame)> handler;
+    bool rx_service_scheduled{false};
+  };
+
+  void service_rx(std::size_t port);
+  void wire_port(std::size_t port);
+
+  Engine& engine_;
+  const CostModel& model_;
+  NodeId id_;
+  std::vector<Port> ports_;
+
+  Time cpu_free_{};
+  Duration busy_total_{};
+  bool crashed_{false};
+  std::uint64_t epoch_{0};  // invalidates pre-crash callbacks
+
+  std::uint64_t frames_processed_{0};
+  std::uint64_t interrupts_taken_{0};
+};
+
+}  // namespace amoeba::sim

@@ -1,0 +1,18 @@
+#include "sim/world.hpp"
+
+namespace amoeba::sim {
+
+World::World(std::size_t node_count, CostModel model, std::uint64_t seed)
+    : model_(model),
+      segment_(std::make_unique<EthernetSegment>(engine_, model_, seed)) {
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) add_node();
+}
+
+Node& World::add_node() {
+  auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(engine_, *segment_, model_, id));
+  return *nodes_.back();
+}
+
+}  // namespace amoeba::sim

@@ -1,0 +1,42 @@
+// Convenience container wiring an engine, one Ethernet segment, and a set
+// of nodes into the paper's testbed topology: all machines on one wire.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/ethernet.hpp"
+#include "sim/node.hpp"
+
+namespace amoeba::sim {
+
+class World {
+ public:
+  explicit World(std::size_t node_count,
+                 CostModel model = CostModel::mc68030_ether10(),
+                 std::uint64_t seed = 1);
+
+  Engine& engine() noexcept { return engine_; }
+  EthernetSegment& segment() noexcept { return *segment_; }
+  const CostModel& cost_model() const noexcept { return model_; }
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  Node& node(std::size_t i) { return *nodes_.at(i); }
+
+  /// Add one more node to the wire (e.g. a late joiner); returns it.
+  Node& add_node();
+
+  Time now() const noexcept { return engine_.now(); }
+  void run_for(Duration d) { engine_.run_until(engine_.now() + d); }
+
+ private:
+  CostModel model_;
+  Engine engine_;
+  std::unique_ptr<EthernetSegment> segment_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace amoeba::sim

@@ -1,0 +1,105 @@
+// Runtime abstraction for the sans-I/O protocol stack.
+//
+// All protocol modules (FLIP, RPC, group) are written against two small
+// interfaces:
+//
+//   - `Executor`: a serialized execution context with a clock, CPU-cost
+//     accounting, and cancellable timers. On the simulator this is a
+//     `sim::Node`'s CPU (costs advance virtual time); on the real-socket
+//     runtime it is an event-loop thread (costs are ignored).
+//   - `Device`: a link-layer frame service (unicast / multicast /
+//     broadcast) with a receive callback, mirroring what the Amoeba kernel
+//     saw from its Lance driver.
+//
+// Identical protocol bytes and state transitions therefore run in both
+// worlds; only time and wires differ.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace amoeba::transport {
+
+using TimerId = sim::TimerId;
+constexpr TimerId kInvalidTimer = sim::kInvalidTimer;
+
+/// Link-level station address (NIC index on the wire / endpoint index in a
+/// UDP address table).
+using StationId = std::uint32_t;
+constexpr StationId kBroadcastStation = ~StationId{0};
+
+/// Serialized execution context with virtual (or real) time.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual Time now() const = 0;
+
+  /// Run `fn` in this context after consuming `cpu_cost` of compute,
+  /// serialized behind earlier work. The simulator charges the node CPU;
+  /// the socket runtime runs `fn` promptly on its loop thread.
+  virtual void post(Duration cpu_cost, std::function<void()> fn) = 0;
+
+  /// Consume CPU time inside the current handler without a continuation
+  /// (memory copies, per-member bookkeeping).
+  virtual void charge(Duration cpu_cost) = 0;
+
+  /// One-shot timer. Handlers run in this context.
+  virtual TimerId set_timer(Duration delay, std::function<void()> fn) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Layer service times for cost accounting. The socket runtime returns
+  /// an all-zero model.
+  virtual const sim::CostModel& costs() const = 0;
+};
+
+/// Link-layer frame service.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Our own station id.
+  virtual StationId station() const = 0;
+
+  /// Greatest FLIP-packet payload one frame can carry.
+  virtual std::size_t max_payload() const = 0;
+
+  /// CPU cost of the driver's transmit path for one frame. Callers fold
+  /// this into the task that invokes send_*; the send itself then runs
+  /// inline (the frame reaches the wire at the caller's task time).
+  virtual Duration tx_cost() const = 0;
+
+  /// Send `payload` to one station. `wire_bytes` is the accounting size of
+  /// the frame on the wire, headers included (the simulator bills wire
+  /// time for it; the socket runtime ignores it).
+  virtual void send_unicast(StationId dst, Buffer payload,
+                            std::size_t wire_bytes) = 0;
+
+  /// Send to every station subscribed to `mcast_key` (one frame on a
+  /// multicast-capable wire; fan-out unicast otherwise — FLIP treats
+  /// hardware multicast as an optimization).
+  virtual void send_multicast(std::uint64_t mcast_key, Buffer payload,
+                              std::size_t wire_bytes) = 0;
+
+  /// Send to every station on the wire (used by FLIP's locate).
+  virtual void send_broadcast(Buffer payload, std::size_t wire_bytes) = 0;
+
+  /// Subscribe / unsubscribe the local MAC multicast filter.
+  virtual void subscribe(std::uint64_t mcast_key) = 0;
+  virtual void unsubscribe(std::uint64_t mcast_key) = 0;
+
+  /// Receive all multicasts regardless of filter (FLIP routers).
+  virtual void set_promiscuous(bool on) = 0;
+
+  /// Receive hook: called once per good frame, in the Executor context,
+  /// with the sending station and the frame payload.
+  virtual void set_receive_handler(
+      std::function<void(StationId src, Buffer payload)> fn) = 0;
+};
+
+}  // namespace amoeba::transport

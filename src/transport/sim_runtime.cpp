@@ -1,0 +1,67 @@
+#include "transport/sim_runtime.hpp"
+
+namespace amoeba::transport {
+
+namespace {
+/// Ethernet MAC header + the 2 flow-control bytes the paper counts with
+/// the link layer. FLIP and group headers are accounted by their layers.
+constexpr std::size_t kEthHeaderBytes = 16;
+}  // namespace
+
+SimDevice::SimDevice(sim::Node& node, std::size_t port)
+    : node_(node), port_(port) {}
+
+std::size_t SimDevice::max_payload() const {
+  return node_.cost_model().max_frame_bytes - kEthHeaderBytes;
+}
+
+void SimDevice::transmit(sim::Frame frame) {
+  // The caller's task already paid tx_cost(); hand straight to the NIC.
+  node_.nic(port_).send(std::move(frame));
+}
+
+void SimDevice::send_unicast(StationId dst, Buffer payload,
+                             std::size_t wire_bytes) {
+  sim::Frame f;
+  f.dst = dst;
+  f.wire_bytes = wire_bytes;
+  f.payload = std::move(payload);
+  transmit(std::move(f));
+}
+
+void SimDevice::send_multicast(std::uint64_t mcast_key, Buffer payload,
+                               std::size_t wire_bytes) {
+  sim::Frame f;
+  f.dst = sim::kBroadcastStation;
+  f.mcast_filter = mcast_key;
+  f.wire_bytes = wire_bytes;
+  f.payload = std::move(payload);
+  transmit(std::move(f));
+}
+
+void SimDevice::send_broadcast(Buffer payload, std::size_t wire_bytes) {
+  sim::Frame f;
+  f.dst = sim::kBroadcastStation;
+  f.mcast_filter = 0;
+  f.wire_bytes = wire_bytes;
+  f.payload = std::move(payload);
+  transmit(std::move(f));
+}
+
+void SimDevice::subscribe(std::uint64_t mcast_key) {
+  node_.nic(port_).subscribe(mcast_key);
+}
+
+void SimDevice::unsubscribe(std::uint64_t mcast_key) {
+  node_.nic(port_).unsubscribe(mcast_key);
+}
+
+void SimDevice::set_receive_handler(
+    std::function<void(StationId, Buffer)> fn) {
+  node_.set_port_frame_handler(
+      port_, [fn = std::move(fn)](sim::Frame frame) {
+        fn(frame.src, std::move(frame.payload));
+      });
+}
+
+}  // namespace amoeba::transport

@@ -1,0 +1,65 @@
+// Simulator bindings for the runtime abstraction: an Executor backed by a
+// sim::Node's CPU and a Device backed by its Lance NIC.
+#pragma once
+
+#include "sim/node.hpp"
+#include "transport/runtime.hpp"
+
+namespace amoeba::transport {
+
+/// Executor on a simulated node: `post` serializes on the node CPU and
+/// advances virtual time by the given cost.
+class SimExecutor final : public Executor {
+ public:
+  explicit SimExecutor(sim::Node& node) : node_(node) {}
+
+  Time now() const override { return node_.now(); }
+  void post(Duration cpu_cost, std::function<void()> fn) override {
+    node_.cpu(cpu_cost, std::move(fn));
+  }
+  void charge(Duration cpu_cost) override { node_.charge(cpu_cost); }
+  TimerId set_timer(Duration delay, std::function<void()> fn) override {
+    return node_.set_timer(delay, std::move(fn));
+  }
+  void cancel_timer(TimerId id) override { node_.cancel_timer(id); }
+  const sim::CostModel& costs() const override { return node_.cost_model(); }
+
+  sim::Node& node() { return node_; }
+
+ private:
+  sim::Node& node_;
+};
+
+/// Device on a simulated node's NIC. Transmission charges the driver cost
+/// (eth_tx) on the node CPU, then hands the frame to the Lance, which
+/// contends for the shared Ethernet.
+class SimDevice final : public Device {
+ public:
+  /// Binds to one of the node's NIC ports (port 0 unless the node is a
+  /// router / multi-homed host).
+  explicit SimDevice(sim::Node& node, std::size_t port = 0);
+
+  StationId station() const override { return node_.nic(port_).station(); }
+  std::size_t max_payload() const override;
+  Duration tx_cost() const override { return node_.cost_model().eth_tx; }
+  void send_unicast(StationId dst, Buffer payload,
+                    std::size_t wire_bytes) override;
+  void send_multicast(std::uint64_t mcast_key, Buffer payload,
+                      std::size_t wire_bytes) override;
+  void send_broadcast(Buffer payload, std::size_t wire_bytes) override;
+  void subscribe(std::uint64_t mcast_key) override;
+  void unsubscribe(std::uint64_t mcast_key) override;
+  void set_promiscuous(bool on) override {
+    node_.nic(port_).set_promiscuous(on);
+  }
+  void set_receive_handler(
+      std::function<void(StationId, Buffer)> fn) override;
+
+ private:
+  void transmit(sim::Frame frame);
+
+  sim::Node& node_;
+  std::size_t port_;
+};
+
+}  // namespace amoeba::transport

@@ -1,0 +1,238 @@
+#include "transport/udp_runtime.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace amoeba::transport {
+
+namespace {
+
+Time steady_now() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return Time{std::chrono::duration_cast<std::chrono::nanoseconds>(t).count()};
+}
+
+const sim::CostModel& zero_costs() {
+  static const sim::CostModel model = sim::CostModel::free();
+  return model;
+}
+
+}  // namespace
+
+UdpRuntime::UdpRuntime(std::uint16_t port) {
+  epoch_ = steady_now();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("UdpRuntime: socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("UdpRuntime: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  local_port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("UdpRuntime: pipe() failed");
+  }
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+}
+
+UdpRuntime::~UdpRuntime() {
+  stop();
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void UdpRuntime::set_station_table(
+    StationId self_station,
+    const std::vector<std::pair<std::string, std::uint16_t>>& endpoints) {
+  std::lock_guard lock(mu_);
+  self_ = self_station;
+  stations_.clear();
+  by_addr_.clear();
+  for (StationId i = 0; i < endpoints.size(); ++i) {
+    Endpoint ep;
+    in_addr ia{};
+    if (::inet_pton(AF_INET, endpoints[i].first.c_str(), &ia) != 1) {
+      throw std::runtime_error("UdpRuntime: bad address " + endpoints[i].first);
+    }
+    ep.ip_be = ia.s_addr;
+    ep.port_be = htons(endpoints[i].second);
+    stations_.push_back(ep);
+    by_addr_[{ep.ip_be, ep.port_be}] = i;
+  }
+}
+
+void UdpRuntime::start() {
+  if (running_.exchange(true)) return;
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+void UdpRuntime::stop() {
+  if (!running_.exchange(false)) return;
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void UdpRuntime::wake() {
+  const char b = 1;
+  [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &b, 1);
+}
+
+Time UdpRuntime::now() const { return Time{(steady_now() - epoch_).ns}; }
+
+void UdpRuntime::post(Duration, std::function<void()> fn) {
+  // Caller holds mu_ (all protocol work runs under the runtime mutex).
+  tasks_.push(std::move(fn));
+  wake();
+}
+
+void UdpRuntime::charge(Duration) {}
+
+TimerId UdpRuntime::set_timer(Duration delay, std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  timers_.push(TimerEntry{now() + delay, id, std::move(fn)});
+  wake();
+  return id;
+}
+
+void UdpRuntime::cancel_timer(TimerId id) {
+  if (id != kInvalidTimer) cancelled_timers_.push_back(id);
+}
+
+const sim::CostModel& UdpRuntime::costs() const { return zero_costs(); }
+
+void UdpRuntime::sendto_station(StationId dst, const Buffer& payload) {
+  if (dst >= stations_.size()) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = stations_[dst].ip_be;
+  addr.sin_port = stations_[dst].port_be;
+  const auto sent =
+      ::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0) {
+    log_warn("udp", "sendto station %u failed: errno=%d", dst, errno);
+  }
+}
+
+void UdpRuntime::send_unicast(StationId dst, Buffer payload, std::size_t) {
+  if (dst == self_) {
+    // Local short-circuit, still asynchronous like a real loopback.
+    post(Duration::zero(), [this, p = std::move(payload)]() mutable {
+      if (rx_) rx_(self_, std::move(p));
+    });
+    return;
+  }
+  sendto_station(dst, payload);
+}
+
+void UdpRuntime::send_multicast(std::uint64_t, Buffer payload, std::size_t) {
+  // Fan-out unicast to every other station; FLIP semantics say multicast
+  // reaches subscribers only, but subscription filtering happens in the
+  // FLIP layer by address match, so over-delivery here is harmless.
+  for (StationId s = 0; s < stations_.size(); ++s) {
+    if (s == self_) continue;
+    sendto_station(s, payload);
+  }
+}
+
+void UdpRuntime::send_broadcast(Buffer payload, std::size_t wire_bytes) {
+  send_multicast(0, std::move(payload), wire_bytes);
+}
+
+void UdpRuntime::subscribe(std::uint64_t) {}
+void UdpRuntime::unsubscribe(std::uint64_t) {}
+
+void UdpRuntime::set_receive_handler(
+    std::function<void(StationId, Buffer)> fn) {
+  std::lock_guard lock(mu_);
+  rx_ = std::move(fn);
+}
+
+void UdpRuntime::loop() {
+  std::vector<std::uint8_t> rxbuf(65536);
+  while (running_.load()) {
+    int timeout_ms = 1000;
+    {
+      std::unique_lock lock(mu_);
+      // Dispatch due timers and queued tasks.
+      while (true) {
+        // Purge cancelled timers at the head.
+        while (!timers_.empty() &&
+               std::find(cancelled_timers_.begin(), cancelled_timers_.end(),
+                         timers_.top().id) != cancelled_timers_.end()) {
+          cancelled_timers_.erase(
+              std::remove(cancelled_timers_.begin(), cancelled_timers_.end(),
+                          timers_.top().id),
+              cancelled_timers_.end());
+          timers_.pop();
+        }
+        if (!tasks_.empty()) {
+          auto fn = std::move(tasks_.front());
+          tasks_.pop();
+          fn();
+          continue;
+        }
+        if (!timers_.empty() && timers_.top().at <= now()) {
+          auto fn = timers_.top().fn;
+          timers_.pop();
+          fn();
+          continue;
+        }
+        break;
+      }
+      if (!timers_.empty()) {
+        const auto wait_ns = (timers_.top().at - now()).ns;
+        timeout_ms = static_cast<int>(std::max<std::int64_t>(
+            0, std::min<std::int64_t>(wait_ns / 1'000'000 + 1, 1000)));
+      }
+    }
+
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, timeout_ms);
+    if (rc < 0) continue;
+    if (fds[1].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) {
+      while (true) {
+        sockaddr_in from{};
+        socklen_t fromlen = sizeof(from);
+        const auto n = ::recvfrom(fd_, rxbuf.data(), rxbuf.size(), MSG_DONTWAIT,
+                                  reinterpret_cast<sockaddr*>(&from), &fromlen);
+        if (n < 0) break;
+        std::unique_lock lock(mu_);
+        const auto it = by_addr_.find({from.sin_addr.s_addr, from.sin_port});
+        if (it == by_addr_.end() || !rx_) continue;
+        Buffer payload(rxbuf.begin(), rxbuf.begin() + n);
+        rx_(it->second, std::move(payload));
+      }
+    }
+  }
+}
+
+}  // namespace amoeba::transport

@@ -1,0 +1,122 @@
+// Real-socket runtime: the same Executor/Device pair the simulator
+// provides, backed by a UDP socket and an event-loop thread.
+//
+// Topology is a static station table (station id -> UDP endpoint), the
+// moral equivalent of the paper's single-LAN configuration. Multicast and
+// broadcast are implemented as unicast fan-out — exactly FLIP's documented
+// position that hardware multicast is an optimization over n point-to-point
+// messages (Section 3.2).
+//
+// Threading model: one loop thread owns the socket; every protocol handler
+// (receive, timer, posted task) runs with the runtime mutex held. User
+// threads calling blocking primitives take the same mutex and park on
+// condition variables, which matches Amoeba's blocking-primitives /
+// multithreaded-application model (Section 2).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/runtime.hpp"
+
+namespace amoeba::transport {
+
+class UdpRuntime final : public Executor, public Device {
+ public:
+  /// Bind a UDP socket on 127.0.0.1:`port` (port 0 = ephemeral).
+  explicit UdpRuntime(std::uint16_t port = 0);
+  ~UdpRuntime() override;
+  UdpRuntime(const UdpRuntime&) = delete;
+  UdpRuntime& operator=(const UdpRuntime&) = delete;
+
+  /// Locally bound UDP port (useful with port 0).
+  std::uint16_t local_port() const { return local_port_; }
+
+  /// Declare the full station table. Entry `self_station` must match this
+  /// process's own endpoint; frames to it short-circuit locally.
+  void set_station_table(StationId self_station,
+                         const std::vector<std::pair<std::string, std::uint16_t>>&
+                             endpoints);
+
+  /// Start / stop the loop thread.
+  void start();
+  void stop();
+
+  /// The runtime mutex. Blocking user-level wrappers hold it around state
+  /// machine calls and park on condition variables tied to it.
+  std::mutex& mutex() { return mu_; }
+
+  // --- Executor -----------------------------------------------------------
+  Time now() const override;
+  void post(Duration cpu_cost, std::function<void()> fn) override;
+  void charge(Duration cpu_cost) override;
+  TimerId set_timer(Duration delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+  const sim::CostModel& costs() const override;
+
+  // --- Device ---------------------------------------------------------------
+  StationId station() const override { return self_; }
+  std::size_t max_payload() const override { return 1400; }
+  Duration tx_cost() const override { return Duration::zero(); }
+  void send_unicast(StationId dst, Buffer payload,
+                    std::size_t wire_bytes) override;
+  void send_multicast(std::uint64_t mcast_key, Buffer payload,
+                      std::size_t wire_bytes) override;
+  void send_broadcast(Buffer payload, std::size_t wire_bytes) override;
+  void subscribe(std::uint64_t mcast_key) override;
+  void unsubscribe(std::uint64_t mcast_key) override;
+  void set_promiscuous(bool) override {}  // fan-out delivers everything
+  void set_receive_handler(
+      std::function<void(StationId, Buffer)> fn) override;
+
+ private:
+  struct TimerEntry {
+    Time at;
+    TimerId id;
+    std::function<void()> fn;
+    bool operator>(const TimerEntry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  void loop();
+  void wake();
+  void sendto_station(StationId dst, const Buffer& payload);
+
+  int fd_{-1};
+  int wake_pipe_[2]{-1, -1};
+  std::uint16_t local_port_{0};
+  StationId self_{kBroadcastStation};
+
+  std::mutex mu_;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+
+  // Station table; index = station id. Stored as resolved sockaddr blobs.
+  struct Endpoint {
+    std::uint32_t ip_be{0};
+    std::uint16_t port_be{0};
+  };
+  std::vector<Endpoint> stations_;
+  std::map<std::pair<std::uint32_t, std::uint16_t>, StationId> by_addr_;
+
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timers_;
+  std::vector<TimerId> cancelled_timers_;
+  TimerId next_timer_{1};
+  std::queue<std::function<void()>> tasks_;
+
+  std::function<void(StationId, Buffer)> rx_;
+  Time epoch_{};
+};
+
+}  // namespace amoeba::transport

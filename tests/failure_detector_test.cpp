@@ -1,0 +1,132 @@
+// The failure detector, reasoned about independently — exactly what
+// Section 5 wished for ("We should have put this functionality in a
+// separate module so that we could have reasoned about it independently
+// of the rest of the system").
+#include <gtest/gtest.h>
+
+#include "group/failure_detector.hpp"
+#include "sim/world.hpp"
+#include "transport/sim_runtime.hpp"
+
+namespace amoeba::group {
+namespace {
+
+struct DetectorFixture : ::testing::Test {
+  sim::World world{1};
+  transport::SimExecutor exec{world.node(0)};
+  std::vector<MemberId> probes;
+  std::vector<MemberId> deaths;
+  FailureDetector fd{exec,
+                     FailureDetector::Callbacks{
+                         .probe = [this](MemberId m) { probes.push_back(m); },
+                         .declare_dead =
+                             [this](MemberId m) { deaths.push_back(m); },
+                     }};
+
+  void SetUp() override {
+    fd.configure(Duration::millis(10), /*max_trials=*/3);
+  }
+  void run(Duration d) { world.engine().run_until(world.now() + d); }
+};
+
+TEST_F(DetectorFixture, SuspectProbesImmediatelyThenOnCadence) {
+  fd.suspect(7);
+  EXPECT_EQ(probes, std::vector<MemberId>{7}) << "first probe is immediate";
+  run(Duration::millis(25));
+  EXPECT_EQ(probes.size(), 3u) << "two more on the 10 ms cadence";
+  EXPECT_TRUE(deaths.empty());
+}
+
+TEST_F(DetectorFixture, UnansweredSuspectIsDeclaredDeadAfterMaxTrials) {
+  fd.suspect(7);
+  run(Duration::millis(100));
+  EXPECT_EQ(probes.size(), 3u) << "exactly max_trials probes";
+  ASSERT_EQ(deaths.size(), 1u);
+  EXPECT_EQ(deaths[0], 7u);
+  EXPECT_FALSE(fd.suspecting(7));
+  run(Duration::millis(100));
+  EXPECT_EQ(deaths.size(), 1u) << "declared once, not repeatedly";
+}
+
+TEST_F(DetectorFixture, ClearOnEvidenceOfLife) {
+  fd.suspect(7);
+  run(Duration::millis(15));
+  fd.clear(7);  // it answered
+  run(Duration::millis(100));
+  EXPECT_TRUE(deaths.empty()) << "a cleared suspect must never be declared";
+  EXPECT_FALSE(fd.suspecting(7));
+}
+
+TEST_F(DetectorFixture, ReSuspicionStartsAFreshBudget) {
+  fd.suspect(7);
+  run(Duration::millis(15));
+  fd.clear(7);
+  probes.clear();
+  fd.suspect(7);
+  run(Duration::millis(100));
+  EXPECT_EQ(probes.size(), 3u) << "full trial budget after re-suspicion";
+  EXPECT_EQ(deaths.size(), 1u);
+}
+
+TEST_F(DetectorFixture, MultipleSuspectsProbeIndependently) {
+  fd.suspect(1);
+  run(Duration::millis(11));  // suspect 1 already has 2 probes
+  fd.suspect(2);
+  run(Duration::millis(100));
+  EXPECT_EQ(deaths.size(), 2u);
+  // 1 was suspected first and dies first.
+  EXPECT_EQ(deaths[0], 1u);
+  EXPECT_EQ(deaths[1], 2u);
+}
+
+TEST_F(DetectorFixture, SuspectWhileSuspectedIsIdempotent) {
+  fd.suspect(7);
+  fd.suspect(7);
+  fd.suspect(7);
+  EXPECT_EQ(probes.size(), 1u) << "no probe amplification";
+  run(Duration::millis(100));
+  EXPECT_EQ(deaths.size(), 1u);
+}
+
+TEST_F(DetectorFixture, ForgetAndResetDropSuspicion) {
+  fd.suspect(1);
+  fd.suspect(2);
+  fd.forget(1);
+  EXPECT_EQ(fd.suspect_count(), 1u);
+  fd.reset();
+  EXPECT_EQ(fd.suspect_count(), 0u);
+  run(Duration::millis(100));
+  EXPECT_TRUE(deaths.empty());
+}
+
+TEST_F(DetectorFixture, DeclareDeadMayReenterTheDetector) {
+  // The expel path can call forget()/suspect() from inside declare_dead
+  // (a view change); the detector must tolerate the reentry.
+  std::vector<MemberId> order;
+  std::function<void(MemberId)> on_dead;  // late-bound: captures fd2 below
+  FailureDetector fd2{exec,
+                      FailureDetector::Callbacks{
+                          .probe = [](MemberId) {},
+                          .declare_dead = [&](MemberId m) { on_dead(m); },
+                      }};
+  on_dead = [&](MemberId m) {
+    order.push_back(m);
+    if (m == 1) {
+      fd2.forget(2);
+      fd2.suspect(3);
+    }
+  };
+  fd2.configure(Duration::millis(10), 2);
+  fd2.suspect(1);
+  fd2.suspect(2);
+  run(Duration::millis(200));
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order[0], 1u);
+  // 2 was forgotten inside the callback; 3 was freshly suspected and
+  // eventually dies too.
+  EXPECT_TRUE(std::find(order.begin(), order.end(), 2u) == order.end());
+  EXPECT_TRUE(std::find(order.begin(), order.end(), 3u) != order.end());
+}
+
+}  // namespace
+}  // namespace amoeba::group

@@ -1,0 +1,158 @@
+// Wire-format tests for the group protocol messages.
+#include <gtest/gtest.h>
+
+#include "flip/wire.hpp"
+#include "group/message.hpp"
+
+namespace amoeba::group {
+namespace {
+
+TEST(GroupWire, DataMessageRoundTrip) {
+  WireMsg m;
+  m.type = WireType::seq_data;
+  m.incarnation = 3;
+  m.sender = 7;
+  m.piggyback = 41;
+  m.msg_id = 99;
+  m.seq = 42;
+  m.flags = kFlagTentative;
+  m.kind = MessageKind::app;
+  m.payload = make_pattern_buffer(333);
+  const Buffer bytes = encode_wire(m);
+  auto d = decode_wire(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, WireType::seq_data);
+  EXPECT_EQ(d->incarnation, 3u);
+  EXPECT_EQ(d->sender, 7u);
+  EXPECT_EQ(d->piggyback, 41u);
+  EXPECT_EQ(d->msg_id, 99u);
+  EXPECT_EQ(d->seq, 42u);
+  EXPECT_EQ(d->flags, kFlagTentative);
+  EXPECT_EQ(d->kind, MessageKind::app);
+  EXPECT_EQ(d->payload, m.payload);
+}
+
+TEST(GroupWire, HeaderAccountsForPapersByteBudget) {
+  WireMsg m;
+  m.type = WireType::seq_accept;
+  const Buffer bytes = encode_wire(m);
+  // Group (28) + user (32) header bytes; with FLIP (40) and link (16) this
+  // makes the paper's 116-byte header budget.
+  EXPECT_EQ(bytes.size(),
+            flip::kGroupHeaderBytes + flip::kUserHeaderBytes);
+}
+
+TEST(GroupWire, EveryTypeRoundTrips) {
+  for (std::uint8_t t = 1;
+       t <= static_cast<std::uint8_t>(WireType::reset_result); ++t) {
+    WireMsg m;
+    m.type = static_cast<WireType>(t);
+    m.sender = t;
+    m.range_from = 5;
+    m.range_count = 3;
+    m.addr = flip::process_address(123);
+    const auto d = decode_wire(encode_wire(m));
+    ASSERT_TRUE(d.has_value()) << "type " << int(t);
+    EXPECT_EQ(static_cast<std::uint8_t>(d->type), t);
+    EXPECT_EQ(d->range_from, 5u);
+    EXPECT_EQ(d->range_count, 3u);
+    EXPECT_EQ(d->addr, flip::process_address(123));
+  }
+}
+
+TEST(GroupWire, RejectsGarbage) {
+  EXPECT_FALSE(decode_wire(Buffer{}).has_value());
+  EXPECT_FALSE(decode_wire(Buffer(10, 0xFF)).has_value());
+  WireMsg m;
+  m.payload = make_pattern_buffer(100);
+  Buffer bytes = encode_wire(m);
+  bytes.resize(bytes.size() - 20);  // truncated payload
+  EXPECT_FALSE(decode_wire(bytes).has_value());
+  Buffer zero(60, 0);  // type 0 is invalid
+  EXPECT_FALSE(decode_wire(zero).has_value());
+}
+
+TEST(GroupWire, SnapshotRoundTrip) {
+  Snapshot s;
+  s.incarnation = 9;
+  s.your_id = 4;
+  s.sequencer = 0;
+  s.next_member_id = 5;
+  s.next_seq = 777;
+  for (MemberId i = 0; i < 5; ++i) {
+    s.members.push_back(MemberInfo{i, flip::process_address(i + 100)});
+  }
+  const auto d = decode_snapshot(encode_snapshot(s));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->incarnation, 9u);
+  EXPECT_EQ(d->your_id, 4u);
+  EXPECT_EQ(d->sequencer, 0u);
+  EXPECT_EQ(d->next_member_id, 5u);
+  EXPECT_EQ(d->next_seq, 777u);
+  ASSERT_EQ(d->members.size(), 5u);
+  EXPECT_EQ(d->members[3].address, flip::process_address(103));
+}
+
+TEST(GroupWire, SnapshotRejectsAbsurdMemberCount) {
+  BufWriter w;
+  w.u32(1);
+  w.u32(1);
+  w.u32(1);
+  w.u32(1);
+  w.u32(1);
+  w.u32(1'000'000);  // claims a million members
+  EXPECT_FALSE(decode_snapshot(std::move(w).take()).has_value());
+}
+
+TEST(GroupWire, VoteRoundTrip) {
+  Vote v;
+  v.member = 3;
+  v.address = flip::process_address(42);
+  v.next_deliver = 100;
+  v.hist_lo = 80;
+  v.hist_hi = 100;
+  v.tentative = {100, 101, 103};
+  const auto d = decode_vote(encode_vote(v));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->member, 3u);
+  EXPECT_EQ(d->next_deliver, 100u);
+  EXPECT_EQ(d->hist_lo, 80u);
+  EXPECT_EQ(d->hist_hi, 100u);
+  EXPECT_EQ(d->tentative, (std::vector<SeqNum>{100, 101, 103}));
+}
+
+TEST(GroupWire, MembershipChangeRoundTrip) {
+  MembershipChange c;
+  c.member = 6;
+  c.address = flip::process_address(66);
+  c.new_sequencer = 2;
+  const auto d = decode_membership_change(encode_membership_change(c));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->member, 6u);
+  EXPECT_EQ(d->address, flip::process_address(66));
+  EXPECT_EQ(d->new_sequencer, 2u);
+  EXPECT_FALSE(decode_membership_change(Buffer{1, 2}).has_value());
+}
+
+TEST(GroupWire, RecoveredBatchRoundTrip) {
+  std::vector<RecoveredMessage> msgs;
+  for (SeqNum s = 10; s < 13; ++s) {
+    RecoveredMessage m;
+    m.seq = s;
+    m.sender = s % 2;
+    m.kind = s == 11 ? MessageKind::join : MessageKind::app;
+    m.msg_id = s * 7;
+    m.data = make_pattern_buffer(s);
+    msgs.push_back(std::move(m));
+  }
+  const auto d = decode_recovered(encode_recovered(msgs));
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->size(), 3u);
+  EXPECT_EQ((*d)[1].kind, MessageKind::join);
+  EXPECT_EQ((*d)[2].msg_id, 84u);
+  EXPECT_TRUE(check_pattern_buffer((*d)[2].data));
+  EXPECT_FALSE(decode_recovered(Buffer{9, 9}).has_value());
+}
+
+}  // namespace
+}  // namespace amoeba::group

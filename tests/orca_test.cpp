@@ -1,0 +1,241 @@
+// Shared-object runtime tests: replica coherence, deterministic job
+// assignment, consistent checkpoints, restore.
+#include <gtest/gtest.h>
+
+#include "group/sim_harness.hpp"
+#include "orca/objects.hpp"
+#include "orca/shared_object.hpp"
+
+namespace amoeba::orca {
+namespace {
+
+using group::GroupConfig;
+using group::GroupMessage;
+using group::SimGroupHarness;
+
+struct OrcaNode {
+  SharedInteger bound{1 << 20};
+  SharedInteger counter{0};
+  SharedJobQueue queue;
+  std::unique_ptr<SharedObjectRuntime> rt;
+  std::vector<Checkpoint> checkpoints;
+
+  explicit OrcaNode(group::SimProcess& p) {
+    rt = std::make_unique<SharedObjectRuntime>(p.member());
+    rt->attach("bound", bound);
+    rt->attach("counter", counter);
+    rt->attach("queue", queue);
+    rt->set_on_checkpoint(
+        [this](const Checkpoint& cp) { checkpoints.push_back(cp); });
+    p.set_on_deliver([this](const GroupMessage& m) { rt->on_delivery(m); });
+  }
+};
+
+struct OrcaFixture : ::testing::Test {
+  SimGroupHarness h{4, GroupConfig{}};
+  std::vector<std::unique_ptr<OrcaNode>> nodes;
+
+  void SetUp() override {
+    ASSERT_TRUE(h.form_group());
+    for (std::size_t p = 0; p < h.size(); ++p) {
+      nodes.push_back(std::make_unique<OrcaNode>(h.process(p)));
+    }
+  }
+
+  bool settle(Duration d = Duration::millis(100)) {
+    h.run_until([] { return false; }, d);
+    return true;
+  }
+};
+
+TEST_F(OrcaFixture, WritesReplicateReadsAreLocal) {
+  int done = 0;
+  nodes[0]->rt->write("counter", SharedInteger::op_add(5),
+                      [&](Status s) { ASSERT_EQ(s, Status::ok); ++done; });
+  nodes[1]->rt->write("counter", SharedInteger::op_add(7),
+                      [&](Status s) { ASSERT_EQ(s, Status::ok); ++done; });
+  ASSERT_TRUE(h.run_until([&] { return done == 2; }, Duration::seconds(10)));
+  settle();
+  for (auto& n : nodes) {
+    EXPECT_EQ(n->counter.value(), 12);
+    EXPECT_EQ(n->rt->applied(), 2u);
+  }
+}
+
+TEST_F(OrcaFixture, TakeMinIsTheBranchAndBoundBound) {
+  int done = 0;
+  // Concurrent bound improvements from different workers: the replicated
+  // min ends identical everywhere regardless of arrival order.
+  nodes[0]->rt->write("bound", SharedInteger::op_take_min(900),
+                      [&](Status) { ++done; });
+  nodes[1]->rt->write("bound", SharedInteger::op_take_min(750),
+                      [&](Status) { ++done; });
+  nodes[2]->rt->write("bound", SharedInteger::op_take_min(800),
+                      [&](Status) { ++done; });
+  ASSERT_TRUE(h.run_until([&] { return done == 3; }, Duration::seconds(10)));
+  settle();
+  for (auto& n : nodes) EXPECT_EQ(n->bound.value(), 750);
+}
+
+TEST_F(OrcaFixture, JobQueueAssignsDeterministically) {
+  int done = 0;
+  for (int j = 0; j < 3; ++j) {
+    nodes[0]->rt->write("queue",
+                        SharedJobQueue::op_push(Buffer{std::uint8_t(j)}),
+                        [&](Status) { ++done; });
+  }
+  // Workers 1 and 2 race to claim.
+  nodes[1]->rt->write("queue", SharedJobQueue::op_claim(1),
+                      [&](Status) { ++done; });
+  nodes[2]->rt->write("queue", SharedJobQueue::op_claim(2),
+                      [&](Status) { ++done; });
+  ASSERT_TRUE(h.run_until([&] { return done == 5; }, Duration::seconds(10)));
+  settle();
+
+  // Every replica recorded the SAME assignment.
+  const Buffer* a1 = nodes[0]->queue.assignment(1);
+  const Buffer* a2 = nodes[0]->queue.assignment(2);
+  ASSERT_NE(a1, nullptr);
+  ASSERT_NE(a2, nullptr);
+  EXPECT_NE(*a1, *a2);
+  for (auto& n : nodes) {
+    ASSERT_NE(n->queue.assignment(1), nullptr);
+    ASSERT_NE(n->queue.assignment(2), nullptr);
+    EXPECT_EQ(*n->queue.assignment(1), *a1);
+    EXPECT_EQ(*n->queue.assignment(2), *a2);
+    EXPECT_EQ(n->queue.pending(), 1u);
+  }
+
+  // Completion frees the worker; termination needs empty + idle.
+  nodes[1]->rt->write("queue", SharedJobQueue::op_complete(1),
+                      [&](Status) { ++done; });
+  ASSERT_TRUE(h.run_until([&] { return done == 6; }, Duration::seconds(10)));
+  settle();
+  for (auto& n : nodes) {
+    EXPECT_EQ(n->queue.assignment(1), nullptr);
+    EXPECT_FALSE(n->queue.terminated());
+    EXPECT_EQ(n->queue.jobs_completed(), 1u);
+  }
+}
+
+TEST_F(OrcaFixture, ClaimOnEmptyQueueIsConsistentNoop) {
+  int done = 0;
+  nodes[3]->rt->write("queue", SharedJobQueue::op_claim(3),
+                      [&](Status) { ++done; });
+  ASSERT_TRUE(h.run_until([&] { return done == 1; }, Duration::seconds(10)));
+  settle();
+  for (auto& n : nodes) {
+    EXPECT_EQ(n->queue.assignment(3), nullptr);
+    EXPECT_TRUE(n->queue.terminated());
+  }
+}
+
+TEST_F(OrcaFixture, CheckpointIsAConsistentCut) {
+  // Interleave writes and a checkpoint; every member's checkpoint must
+  // capture the identical prefix.
+  int done = 0;
+  nodes[0]->rt->write("counter", SharedInteger::op_add(1),
+                      [&](Status) { ++done; });
+  nodes[1]->rt->write("counter", SharedInteger::op_add(2),
+                      [&](Status) { ++done; });
+  nodes[2]->rt->checkpoint(42, [&](Status s) {
+    ASSERT_EQ(s, Status::ok);
+    ++done;
+  });
+  nodes[3]->rt->write("counter", SharedInteger::op_add(4),
+                      [&](Status) { ++done; });
+  ASSERT_TRUE(h.run_until([&] { return done == 4; }, Duration::seconds(10)));
+  settle();
+
+  for (auto& n : nodes) {
+    ASSERT_EQ(n->checkpoints.size(), 1u);
+    EXPECT_EQ(n->checkpoints[0].id, 42u);
+  }
+  // Identical cut: same seq, same serialized states, at every member.
+  const Checkpoint& ref = nodes[0]->checkpoints[0];
+  for (auto& n : nodes) {
+    const Checkpoint& cp = n->checkpoints[0];
+    EXPECT_EQ(cp.at_seq, ref.at_seq);
+    ASSERT_EQ(cp.objects.size(), 3u);
+    for (const auto& [name, state] : ref.objects) {
+      EXPECT_EQ(cp.objects.at(name), state) << name;
+    }
+  }
+  // And the final counter reflects ALL writes (the one after the marker
+  // too), while the checkpoint holds only the prefix.
+  for (auto& n : nodes) EXPECT_EQ(n->counter.value(), 7);
+  SharedInteger probe;
+  probe.install(ref.objects.at("counter"));
+  EXPECT_LE(probe.value(), 7);
+  EXPECT_GE(probe.value(), 3) << "both pre-marker writes are in the cut";
+}
+
+TEST_F(OrcaFixture, RestoreRewindsToTheCheckpoint) {
+  int done = 0;
+  nodes[0]->rt->write("counter", SharedInteger::op_add(10),
+                      [&](Status) { ++done; });
+  nodes[0]->rt->checkpoint(7, [&](Status) { ++done; });
+  nodes[1]->rt->write("counter", SharedInteger::op_add(100),
+                      [&](Status) { ++done; });
+  ASSERT_TRUE(h.run_until([&] { return done == 3; }, Duration::seconds(10)));
+  settle();
+  ASSERT_FALSE(nodes[2]->checkpoints.empty());
+  EXPECT_EQ(nodes[2]->counter.value(), 110);
+
+  // "Most of the parallel applications are just restarted" — but with a
+  // checkpoint they restart from the cut instead of from zero.
+  nodes[2]->rt->restore(nodes[2]->checkpoints[0]);
+  EXPECT_EQ(nodes[2]->counter.value(), 10);
+}
+
+TEST_F(OrcaFixture, SharedDictionaryReplicates) {
+  SharedDictionary dicts[4];
+  for (std::size_t p = 0; p < 4; ++p) {
+    nodes[p]->rt->attach("dict", dicts[p]);
+  }
+  int done = 0;
+  nodes[0]->rt->write("dict", SharedDictionary::op_set("a", Buffer{1}),
+                      [&](Status) { ++done; });
+  nodes[1]->rt->write("dict", SharedDictionary::op_set("b", Buffer{2}),
+                      [&](Status) { ++done; });
+  nodes[2]->rt->write("dict", SharedDictionary::op_erase("a"),
+                      [&](Status) { ++done; });
+  nodes[3]->rt->write("dict", SharedDictionary::op_set("c", Buffer{3}),
+                      [&](Status) { ++done; });
+  ASSERT_TRUE(h.run_until([&] { return done == 4; }, Duration::seconds(10)));
+  settle();
+  for (auto& d : dicts) {
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.lookup("a"), nullptr);
+    ASSERT_NE(d.lookup("b"), nullptr);
+    EXPECT_EQ(*d.lookup("b"), Buffer{2});
+    ASSERT_NE(d.lookup("c"), nullptr);
+  }
+  // Snapshot/install round trip preserves the table.
+  SharedDictionary copy;
+  copy.install(dicts[0].snapshot());
+  EXPECT_EQ(copy.entries(), dicts[0].entries());
+  // Clear is a write like any other.
+  int cleared = 0;
+  nodes[0]->rt->write("dict", SharedDictionary::op_clear(),
+                      [&](Status) { ++cleared; });
+  ASSERT_TRUE(h.run_until([&] { return cleared == 1; },
+                          Duration::seconds(10)));
+  settle();
+  for (auto& d : dicts) EXPECT_EQ(d.size(), 0u);
+}
+
+TEST_F(OrcaFixture, UnattachedObjectWriteIsIgnoredSafely) {
+  int done = 0;
+  nodes[0]->rt->write("no-such-object", SharedInteger::op_add(1),
+                      [&](Status s) {
+                        EXPECT_EQ(s, Status::ok);  // ordered fine...
+                        ++done;
+                      });
+  ASSERT_TRUE(h.run_until([&] { return done == 1; }, Duration::seconds(10)));
+  settle();  // ...but applies nowhere, and nothing crashes.
+  for (auto& n : nodes) EXPECT_EQ(n->counter.value(), 0);
+}
+
+}  // namespace
+}  // namespace amoeba::orca

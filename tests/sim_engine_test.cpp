@@ -1,0 +1,107 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace amoeba::sim {
+namespace {
+
+TEST(Engine, DispatchesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(Duration::micros(30), [&] { order.push_back(3); });
+  e.schedule(Duration::micros(10), [&] { order.push_back(1); });
+  e.schedule(Duration::micros(20), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), Time{30'000});
+}
+
+TEST(Engine, EqualTimesDispatchFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(Duration::micros(5), [&, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, CancelPreventsDispatch) {
+  Engine e;
+  bool fired = false;
+  const TimerId id = e.schedule(Duration::micros(10), [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(e.cancel(id)) << "double cancel is a no-op";
+  EXPECT_FALSE(e.cancel(kInvalidTimer));
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) e.schedule(Duration::micros(1), recurse);
+  };
+  e.schedule(Duration::micros(1), recurse);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), Time{5'000});
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(Duration::micros(10), [&] { order.push_back(1); });
+  e.schedule(Duration::micros(30), [&] { order.push_back(2); });
+  e.run_until(Time{20'000});
+  EXPECT_EQ(order, std::vector<int>{1});
+  EXPECT_EQ(e.now(), Time{20'000}) << "clock advances to the boundary";
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, StopInterruptsRun) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(Duration::micros(i + 1), [&] {
+      if (++count == 3) e.stop();
+    });
+  }
+  e.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_GT(e.pending(), 0u);
+}
+
+TEST(Engine, RunStepsBounded) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(Duration::micros(i), [&] { ++count; });
+  }
+  e.run_steps(4);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Engine, PendingExcludesCancelled) {
+  Engine e;
+  const TimerId a = e.schedule(Duration::micros(1), [] {});
+  e.schedule(Duration::micros(2), [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, DispatchCountAccumulates) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule(Duration::micros(i), [] {});
+  e.run();
+  EXPECT_EQ(e.events_dispatched(), 7u);
+}
+
+}  // namespace
+}  // namespace amoeba::sim

@@ -1,0 +1,211 @@
+// Unit tests for the Ethernet segment, CSMA/CD arbitration, and the Lance
+// NIC model.
+#include <gtest/gtest.h>
+
+#include "sim/ethernet.hpp"
+#include "sim/node.hpp"
+#include "sim/world.hpp"
+
+namespace amoeba::sim {
+namespace {
+
+Frame unicast_frame(StationId dst, std::size_t bytes) {
+  Frame f;
+  f.dst = dst;
+  f.wire_bytes = bytes;
+  f.payload = make_pattern_buffer(32);
+  return f;
+}
+
+struct TwoNics {
+  Engine engine;
+  CostModel model = CostModel::mc68030_ether10();
+  EthernetSegment segment{engine, model};
+  Nic a{segment, 32};
+  Nic b{segment, 32};
+};
+
+TEST(Ethernet, UnicastReachesOnlyDestination) {
+  TwoNics t;
+  Nic c(t.segment, 32);
+  t.a.send(unicast_frame(t.b.station(), 200));
+  t.engine.run();
+  EXPECT_EQ(t.b.rx_pending(), 1u);
+  EXPECT_EQ(c.rx_pending(), 0u) << "unicast must not interrupt third parties";
+  auto f = t.b.take_rx();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->src, t.a.station());
+  EXPECT_TRUE(check_pattern_buffer(f->payload));
+}
+
+TEST(Ethernet, BroadcastReachesAllButSender) {
+  TwoNics t;
+  Nic c(t.segment, 32);
+  Frame f;
+  f.dst = kBroadcastStation;
+  f.wire_bytes = 100;
+  t.a.send(std::move(f));
+  t.engine.run();
+  EXPECT_EQ(t.a.rx_pending(), 0u) << "the wire never echoes the sender";
+  EXPECT_EQ(t.b.rx_pending(), 1u);
+  EXPECT_EQ(c.rx_pending(), 1u);
+}
+
+TEST(Ethernet, MulticastFilterSuppressesUninterestedNics) {
+  TwoNics t;
+  Nic c(t.segment, 32);
+  t.b.subscribe(0x42);
+  Frame f;
+  f.dst = kBroadcastStation;
+  f.mcast_filter = 0x42;
+  f.wire_bytes = 100;
+  t.a.send(std::move(f));
+  t.engine.run();
+  EXPECT_EQ(t.b.rx_pending(), 1u);
+  EXPECT_EQ(c.rx_pending(), 0u)
+      << "the Lance multicast filter avoids interrupts at non-members";
+  t.b.unsubscribe(0x42);
+  Frame g;
+  g.dst = kBroadcastStation;
+  g.mcast_filter = 0x42;
+  g.wire_bytes = 100;
+  t.a.send(std::move(g));
+  t.engine.run();
+  EXPECT_EQ(t.b.rx_pending(), 1u) << "unsubscribed: no further delivery";
+}
+
+TEST(Ethernet, WireTimeMatchesBitRate) {
+  TwoNics t;
+  t.a.send(unicast_frame(t.b.station(), 1000));
+  t.engine.run();
+  // 1000 bytes at 10 Mbit/s = 800 us, plus framing overhead.
+  const double us = t.engine.now().to_micros();
+  EXPECT_GT(us, 800.0);
+  EXPECT_LT(us, 830.0);
+}
+
+TEST(Ethernet, MinimumFrameSizeEnforced) {
+  TwoNics t;
+  t.a.send(unicast_frame(t.b.station(), 1));  // below the 64-byte minimum
+  t.engine.run();
+  const double us = t.engine.now().to_micros();
+  EXPECT_GE(us, 64 * 0.8) << "runt frames are padded to 64 bytes";
+}
+
+TEST(Ethernet, SequentialFramesSerializeOnTheWire) {
+  TwoNics t;
+  for (int i = 0; i < 5; ++i) t.a.send(unicast_frame(t.b.station(), 1000));
+  t.engine.run();
+  EXPECT_EQ(t.b.rx_pending(), 5u);
+  const double us = t.engine.now().to_micros();
+  EXPECT_GE(us, 5 * 800.0) << "frames cannot overlap on a shared medium";
+}
+
+TEST(Ethernet, ContendingSendersCollideButRecover) {
+  TwoNics t;
+  // Both stations transmit "simultaneously": collision, backoff, then both
+  // frames get through.
+  t.a.send(unicast_frame(t.b.station(), 500));
+  t.b.send(unicast_frame(t.a.station(), 500));
+  t.engine.run();
+  EXPECT_EQ(t.a.rx_pending(), 1u);
+  EXPECT_EQ(t.b.rx_pending(), 1u);
+  EXPECT_GE(t.segment.collisions(), 1u);
+}
+
+TEST(Ethernet, ManyContendersAllEventuallyTransmit) {
+  Engine engine;
+  CostModel model = CostModel::mc68030_ether10();
+  EthernetSegment segment(engine, model);
+  std::vector<std::unique_ptr<Nic>> nics;
+  for (int i = 0; i < 10; ++i) {
+    nics.push_back(std::make_unique<Nic>(segment, 64));
+  }
+  for (auto& nic : nics) {
+    Frame f;
+    f.dst = kBroadcastStation;
+    f.wire_bytes = 200;
+    nic->send(std::move(f));
+  }
+  engine.run();
+  for (auto& nic : nics) {
+    EXPECT_EQ(nic->rx_pending(), 9u) << "every other station's broadcast";
+    EXPECT_EQ(nic->tx_sent(), 1u);
+  }
+}
+
+TEST(Nic, RxRingTailDropsAtCapacity) {
+  Engine engine;
+  CostModel model = CostModel::mc68030_ether10();
+  model.nic_rx_ring_frames = 4;
+  EthernetSegment segment(engine, model);
+  Nic a(segment, 4);
+  Nic b(segment, 4);
+  for (int i = 0; i < 10; ++i) a.send(unicast_frame(b.station(), 100));
+  engine.run();
+  EXPECT_EQ(b.rx_pending(), 4u) << "ring capacity";
+  EXPECT_EQ(b.rx_dropped(), 6u) << "the Lance drops silently on overflow";
+}
+
+TEST(Nic, DownNicNeitherSendsNorReceives) {
+  TwoNics t;
+  t.b.set_down(true);
+  t.a.send(unicast_frame(t.b.station(), 100));
+  t.engine.run();
+  EXPECT_EQ(t.b.rx_pending(), 0u);
+  t.b.set_down(false);
+  t.b.set_down(false);
+  t.a.send(unicast_frame(t.b.station(), 100));
+  t.engine.run();
+  EXPECT_EQ(t.b.rx_pending(), 1u);
+}
+
+TEST(Ethernet, LossFaultInjectionDropsFrames) {
+  Engine engine;
+  CostModel model = CostModel::mc68030_ether10();
+  EthernetSegment segment(engine, model, /*fault_seed=*/7);
+  segment.set_fault_plan(FaultPlan{.loss_prob = 1.0});
+  Nic a(segment, 32);
+  Nic b(segment, 32);
+  a.send(unicast_frame(b.station(), 100));
+  engine.run();
+  EXPECT_EQ(b.rx_pending(), 0u);
+  EXPECT_EQ(segment.frames_lost(), 1u);
+}
+
+TEST(Ethernet, DuplicateFaultInjectionDeliversTwice) {
+  Engine engine;
+  CostModel model = CostModel::mc68030_ether10();
+  EthernetSegment segment(engine, model, 7);
+  segment.set_fault_plan(FaultPlan{.duplicate_prob = 1.0});
+  Nic a(segment, 32);
+  Nic b(segment, 32);
+  a.send(unicast_frame(b.station(), 100));
+  engine.run();
+  EXPECT_EQ(b.rx_pending(), 2u);
+}
+
+TEST(Ethernet, GarbleFaultMarksFrame) {
+  Engine engine;
+  CostModel model = CostModel::mc68030_ether10();
+  EthernetSegment segment(engine, model, 7);
+  segment.set_fault_plan(FaultPlan{.garble_prob = 1.0});
+  Nic a(segment, 32);
+  Nic b(segment, 32);
+  a.send(unicast_frame(b.station(), 100));
+  engine.run();
+  auto f = b.take_rx();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->garbled);
+  EXPECT_FALSE(check_pattern_buffer(f->payload)) << "payload actually flipped";
+}
+
+TEST(Ethernet, UtilizationAccounting) {
+  TwoNics t;
+  t.a.send(unicast_frame(t.b.station(), 1250));  // 1 ms on the wire
+  t.engine.run();
+  EXPECT_NEAR(t.segment.busy_time().to_micros(), 1016, 1.0);
+}
+
+}  // namespace
+}  // namespace amoeba::sim

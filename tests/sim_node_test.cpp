@@ -1,0 +1,151 @@
+// Unit tests for the simulated processor: CPU serialization, cost
+// accounting, interrupt service, crash/restart semantics.
+#include <gtest/gtest.h>
+
+#include "sim/world.hpp"
+
+namespace amoeba::sim {
+namespace {
+
+TEST(Node, CpuSerializesWork) {
+  World w(1);
+  Node& n = w.node(0);
+  std::vector<double> completion_us;
+  n.cpu(Duration::micros(100), [&] { completion_us.push_back(w.now().to_micros()); });
+  n.cpu(Duration::micros(50), [&] { completion_us.push_back(w.now().to_micros()); });
+  w.engine().run();
+  ASSERT_EQ(completion_us.size(), 2u);
+  EXPECT_DOUBLE_EQ(completion_us[0], 100.0);
+  EXPECT_DOUBLE_EQ(completion_us[1], 150.0) << "second task queues behind first";
+}
+
+TEST(Node, ChargeExtendsBusyHorizon) {
+  World w(1);
+  Node& n = w.node(0);
+  double done_us = 0;
+  n.charge(Duration::micros(200));
+  n.cpu(Duration::micros(10), [&] { done_us = w.now().to_micros(); });
+  w.engine().run();
+  EXPECT_DOUBLE_EQ(done_us, 210.0);
+  EXPECT_DOUBLE_EQ(n.cpu_busy_total().to_micros(), 210.0);
+}
+
+TEST(Node, TimerFiresWithoutConsumingCpu) {
+  World w(1);
+  Node& n = w.node(0);
+  bool fired = false;
+  n.set_timer(Duration::millis(1), [&] { fired = true; });
+  w.engine().run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(n.cpu_busy_total().ns, 0);
+}
+
+TEST(Node, CancelTimer) {
+  World w(1);
+  Node& n = w.node(0);
+  bool fired = false;
+  const auto id = n.set_timer(Duration::millis(1), [&] { fired = true; });
+  n.cancel_timer(id);
+  w.engine().run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Node, CrashSuppressesPendingWorkAndTimers) {
+  World w(1);
+  Node& n = w.node(0);
+  bool cpu_ran = false, timer_ran = false;
+  n.cpu(Duration::millis(2), [&] { cpu_ran = true; });
+  n.set_timer(Duration::millis(2), [&] { timer_ran = true; });
+  w.engine().schedule(Duration::millis(1), [&] { n.crash(); });
+  w.engine().run();
+  EXPECT_FALSE(cpu_ran);
+  EXPECT_FALSE(timer_ran);
+  EXPECT_TRUE(n.crashed());
+}
+
+TEST(Node, RestartStartsFreshEpoch) {
+  World w(1);
+  Node& n = w.node(0);
+  bool pre_crash_ran = false, post_restart_ran = false;
+  n.cpu(Duration::millis(5), [&] { pre_crash_ran = true; });
+  w.engine().schedule(Duration::millis(1), [&] { n.crash(); });
+  w.engine().schedule(Duration::millis(2), [&] {
+    n.restart();
+    n.cpu(Duration::micros(10), [&] { post_restart_ran = true; });
+  });
+  w.engine().run();
+  EXPECT_FALSE(pre_crash_ran) << "pre-crash work must not leak across restart";
+  EXPECT_TRUE(post_restart_ran);
+  EXPECT_FALSE(n.crashed());
+}
+
+TEST(Node, InterruptServiceDrainsRxRing) {
+  World w(2);
+  Node& a = w.node(0);
+  Node& b = w.node(1);
+  int frames = 0;
+  b.set_frame_handler([&](Frame) { ++frames; });
+  for (int i = 0; i < 5; ++i) {
+    Frame f;
+    f.dst = b.nic().station();
+    f.wire_bytes = 100;
+    a.nic().send(std::move(f));
+  }
+  w.engine().run();
+  EXPECT_EQ(frames, 5);
+  EXPECT_EQ(b.frames_processed(), 5u);
+  // Each frame costs one eth_rx of CPU.
+  EXPECT_DOUBLE_EQ(b.cpu_busy_total().to_micros(),
+                   5 * w.cost_model().eth_rx.to_micros());
+}
+
+TEST(Node, GarbledFramesDroppedByDriver) {
+  World w(2);
+  w.segment().set_fault_plan(FaultPlan{.garble_prob = 1.0});
+  Node& a = w.node(0);
+  Node& b = w.node(1);
+  int frames = 0;
+  b.set_frame_handler([&](Frame) { ++frames; });
+  Frame f;
+  f.dst = b.nic().station();
+  f.wire_bytes = 100;
+  f.payload = make_pattern_buffer(16);
+  a.nic().send(std::move(f));
+  w.engine().run();
+  EXPECT_EQ(frames, 0) << "FCS failure: frame never reaches the stack";
+  EXPECT_EQ(b.frames_processed(), 1u) << "but the interrupt was taken";
+}
+
+TEST(Node, BackloggedCpuDelaysRxService) {
+  World w(2);
+  Node& a = w.node(0);
+  Node& b = w.node(1);
+  double handled_us = 0;
+  b.set_frame_handler([&](Frame) { handled_us = w.now().to_micros(); });
+  b.charge(Duration::millis(10));  // busy CPU
+  Frame f;
+  f.dst = b.nic().station();
+  f.wire_bytes = 100;
+  a.nic().send(std::move(f));
+  w.engine().run();
+  EXPECT_GT(handled_us, 10'000.0)
+      << "interrupt service waits for the busy CPU";
+}
+
+TEST(World, AddNodeGrowsTheWire) {
+  World w(2);
+  Node& c = w.add_node();
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(c.id(), 2u);
+  int got = 0;
+  c.set_frame_handler([&](Frame) { ++got; });
+  Frame f;
+  f.dst = kBroadcastStation;
+  f.wire_bytes = 100;
+  w.node(0).nic().send(std::move(f));
+  w.engine().run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace amoeba::sim

@@ -1,0 +1,230 @@
+// Transport-layer tests: the Executor/Device contracts on both runtimes,
+// multi-port nodes, and UdpRuntime timer/task machinery.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/world.hpp"
+#include "transport/sim_runtime.hpp"
+#include "transport/udp_runtime.hpp"
+
+namespace amoeba::transport {
+namespace {
+
+TEST(SimExecutor, PostSerializesAndAdvancesVirtualTime) {
+  sim::World w(1);
+  SimExecutor exec(w.node(0));
+  std::vector<double> at;
+  exec.post(Duration::micros(100), [&] { at.push_back(exec.now().to_micros()); });
+  exec.post(Duration::micros(50), [&] { at.push_back(exec.now().to_micros()); });
+  w.engine().run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0], 100.0);
+  EXPECT_DOUBLE_EQ(at[1], 150.0);
+}
+
+TEST(SimExecutor, ChargeAffectsSubsequentPosts) {
+  sim::World w(1);
+  SimExecutor exec(w.node(0));
+  exec.charge(Duration::millis(1));
+  double at = 0;
+  exec.post(Duration::micros(10), [&] { at = exec.now().to_micros(); });
+  w.engine().run();
+  EXPECT_DOUBLE_EQ(at, 1010.0);
+}
+
+TEST(SimExecutor, TimerCancellation) {
+  sim::World w(1);
+  SimExecutor exec(w.node(0));
+  bool fired = false;
+  const auto id = exec.set_timer(Duration::millis(1), [&] { fired = true; });
+  exec.cancel_timer(id);
+  w.engine().run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimDevice, UnicastBetweenDevices) {
+  sim::World w(2);
+  SimExecutor ea(w.node(0)), eb(w.node(1));
+  SimDevice da(w.node(0)), db(w.node(1));
+  std::optional<std::pair<StationId, Buffer>> got;
+  db.set_receive_handler([&](StationId from, Buffer b) {
+    got = {from, std::move(b)};
+  });
+  ea.post(da.tx_cost(), [&] {
+    da.send_unicast(db.station(), make_pattern_buffer(40), 156);
+  });
+  w.engine().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->first, da.station());
+  EXPECT_TRUE(check_pattern_buffer(got->second));
+}
+
+TEST(SimDevice, MulticastFiltering) {
+  sim::World w(3);
+  SimDevice da(w.node(0)), db(w.node(1)), dc(w.node(2));
+  int got_b = 0, got_c = 0;
+  db.set_receive_handler([&](StationId, Buffer) { ++got_b; });
+  dc.set_receive_handler([&](StationId, Buffer) { ++got_c; });
+  db.subscribe(0x99);
+  da.send_multicast(0x99, make_pattern_buffer(10), 126);
+  w.engine().run();
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 0);
+  // Promiscuous mode (router behaviour) hears everything.
+  dc.set_promiscuous(true);
+  da.send_multicast(0x99, make_pattern_buffer(10), 126);
+  w.engine().run();
+  EXPECT_EQ(got_c, 1);
+}
+
+TEST(MultiPortNode, PortsAreIndependentNics) {
+  sim::CostModel model = sim::CostModel::mc68030_ether10();
+  sim::Engine engine;
+  sim::EthernetSegment seg_a(engine, model, 1), seg_b(engine, model, 2);
+  sim::Node host_a(engine, seg_a, model, 0);
+  sim::Node host_b(engine, seg_b, model, 1);
+  sim::Node bridge(engine, seg_a, model, 2);
+  const std::size_t pb = bridge.add_port(seg_b);
+  ASSERT_EQ(bridge.port_count(), 2u);
+
+  int on_a = 0, on_b = 0;
+  bridge.set_port_frame_handler(0, [&](sim::Frame) { ++on_a; });
+  bridge.set_port_frame_handler(pb, [&](sim::Frame) { ++on_b; });
+
+  sim::Frame fa;
+  fa.dst = bridge.nic(0).station();
+  fa.wire_bytes = 100;
+  host_a.nic().send(std::move(fa));
+  sim::Frame fb;
+  fb.dst = bridge.nic(pb).station();
+  fb.wire_bytes = 100;
+  host_b.nic().send(std::move(fb));
+  engine.run();
+  EXPECT_EQ(on_a, 1);
+  EXPECT_EQ(on_b, 1);
+
+  // Crash silences both ports; restart revives both.
+  bridge.crash();
+  sim::Frame fa2;
+  fa2.dst = bridge.nic(0).station();
+  fa2.wire_bytes = 100;
+  host_a.nic().send(std::move(fa2));
+  engine.run();
+  EXPECT_EQ(on_a, 1);
+  bridge.restart();
+  bridge.set_port_frame_handler(0, [&](sim::Frame) { ++on_a; });
+  sim::Frame fa3;
+  fa3.dst = bridge.nic(0).station();
+  fa3.wire_bytes = 100;
+  host_a.nic().send(std::move(fa3));
+  engine.run();
+  EXPECT_EQ(on_a, 2);
+}
+
+TEST(UdpRuntime, TimersFireAndCancel) {
+  UdpRuntime rt(0);
+  rt.set_station_table(0, {{"127.0.0.1", rt.local_port()}});
+  rt.start();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false, cancelled_fired = false;
+  {
+    std::lock_guard lock(rt.mutex());
+    rt.set_timer(Duration::millis(20), [&] {
+      std::lock_guard g(mu);
+      fired = true;
+      cv.notify_all();
+    });
+    const auto id = rt.set_timer(Duration::millis(20),
+                                 [&] { cancelled_fired = true; });
+    rt.cancel_timer(id);
+  }
+  std::unique_lock lock(mu);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return fired; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(cancelled_fired);
+  rt.stop();
+}
+
+TEST(UdpRuntime, SelfSendShortCircuits) {
+  UdpRuntime rt(0);
+  rt.set_station_table(0, {{"127.0.0.1", rt.local_port()}});
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<Buffer> got;
+  rt.set_receive_handler([&](StationId from, Buffer b) {
+    EXPECT_EQ(from, 0u);
+    std::lock_guard g(mu);
+    got = std::move(b);
+    cv.notify_all();
+  });
+  rt.start();
+  {
+    std::lock_guard lock(rt.mutex());
+    rt.send_unicast(0, make_pattern_buffer(32), 0);
+  }
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return got.has_value(); }));
+  EXPECT_TRUE(check_pattern_buffer(*got));
+  rt.stop();
+}
+
+TEST(UdpRuntime, FanOutMulticastReachesAllPeers) {
+  UdpRuntime a(0), b(0), c(0);
+  std::vector<std::pair<std::string, std::uint16_t>> table = {
+      {"127.0.0.1", a.local_port()},
+      {"127.0.0.1", b.local_port()},
+      {"127.0.0.1", c.local_port()},
+  };
+  a.set_station_table(0, table);
+  b.set_station_table(1, table);
+  c.set_station_table(2, table);
+  std::mutex mu;
+  std::condition_variable cv;
+  int got = 0;
+  const auto handler = [&](StationId, Buffer) {
+    std::lock_guard g(mu);
+    ++got;
+    cv.notify_all();
+  };
+  b.set_receive_handler(handler);
+  c.set_receive_handler(handler);
+  a.start();
+  b.start();
+  c.start();
+  {
+    std::lock_guard lock(a.mutex());
+    a.send_multicast(0x55, make_pattern_buffer(16), 0);
+  }
+  std::unique_lock lock(mu);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return got == 2; }));
+  a.stop();
+  b.stop();
+  c.stop();
+}
+
+TEST(UdpRuntime, UnknownSourceIgnored) {
+  UdpRuntime a(0), stranger(0);
+  a.set_station_table(0, {{"127.0.0.1", a.local_port()}});
+  // `stranger` knows where a lives, but a's table does not contain the
+  // stranger's endpoint: its packets must be dropped on arrival.
+  stranger.set_station_table(1, {{"127.0.0.1", a.local_port()}});
+  int got = 0;
+  a.set_receive_handler([&](StationId, Buffer) { ++got; });
+  a.start();
+  stranger.start();
+  {
+    std::lock_guard lock(stranger.mutex());
+    stranger.send_unicast(0, make_pattern_buffer(8), 0);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(got, 0) << "frames from unknown endpoints are dropped";
+  a.stop();
+  stranger.stop();
+}
+
+}  // namespace
+}  // namespace amoeba::transport
