@@ -30,7 +30,7 @@ Buffer encode_reg(const std::string& name, std::uint64_t capability) {
 
 struct DirectoryServer {
   std::map<std::string, std::uint64_t> entries;
-  void apply(const Buffer& op) {
+  void apply(BufView op) {
     BufReader r(op);
     const std::string name = r.str();
     const std::uint64_t cap = r.u64();

@@ -33,7 +33,7 @@ Buffer encode_op(char op, const std::string& key, const std::string& value) {
 struct Replica {
   std::map<std::string, std::string> table;
 
-  void apply(const Buffer& op) {
+  void apply(BufView op) {
     BufReader r(op);
     const char kind = static_cast<char>(r.u8());
     const std::string key = r.str();

@@ -68,7 +68,7 @@ CmMember::CmMember(flip::FlipStack& flip, transport::Executor& exec,
       index_(index),
       cfg_(config),
       deliver_(std::move(deliver)) {
-  flip_.join_group(group_, [this](flip::Address, flip::Address, Buffer bytes) {
+  flip_.join_group(group_, [this](flip::Address, flip::Address, BufView bytes) {
     on_packet(std::move(bytes));
   });
 }
@@ -128,8 +128,8 @@ void CmMember::transmit_pending() {
   });
 }
 
-void CmMember::on_packet(Buffer bytes) {
-  auto decoded = decode_cm(bytes);
+void CmMember::on_packet(BufView bytes) {
+  auto decoded = decode_cm(bytes.span());
   if (!decoded.has_value()) return;
   const auto cost =
       decoded->type == CmType::ack && holds_token()

@@ -95,7 +95,7 @@ class CmMember {
     bool acked{false};
   };
 
-  void on_packet(Buffer bytes);
+  void on_packet(BufView bytes);
   void transmit_pending();
   void try_ack_as_token_site();
   void broadcast_ack(std::uint32_t ts, std::uint32_t sender,

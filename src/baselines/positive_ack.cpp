@@ -53,11 +53,11 @@ PaMember::PaMember(flip::FlipStack& flip, transport::Executor& exec,
       cfg_(config),
       deliver_(std::move(deliver)),
       rng_(seed ^ (index * 0x9E3779B97F4A7C15ULL)) {
-  flip_.join_group(group_, [this](flip::Address, flip::Address, Buffer bytes) {
+  flip_.join_group(group_, [this](flip::Address, flip::Address, BufView bytes) {
     on_group_packet(std::move(bytes));
   });
   flip_.register_endpoint(my_addr_,
-                          [this](flip::Address src, flip::Address, Buffer b) {
+                          [this](flip::Address src, flip::Address, BufView b) {
                             on_ack(src, std::move(b));
                           });
 }
@@ -116,8 +116,8 @@ void PaMember::on_timer() {
   transmit(false);
 }
 
-void PaMember::on_group_packet(Buffer bytes) {
-  auto m = decode_pa(bytes);
+void PaMember::on_group_packet(BufView bytes) {
+  auto m = decode_pa(bytes.span());
   if (!m.has_value() || m->type != PaType::data) return;
   exec_.post(exec_.costs().group_deliver +
                  exec_.costs().copy_time(m->payload.size()),
@@ -147,8 +147,8 @@ void PaMember::on_group_packet(Buffer bytes) {
              });
 }
 
-void PaMember::on_ack(flip::Address, Buffer bytes) {
-  auto m = decode_pa(bytes);
+void PaMember::on_ack(flip::Address, BufView bytes) {
+  auto m = decode_pa(bytes.span());
   if (!m.has_value() || m->type != PaType::ack) return;
   exec_.post(exec_.costs().group_ack, [this, m = std::move(*m)] {
     if (!out_.has_value() || m.seq != out_->seq) return;

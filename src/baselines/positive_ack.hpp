@@ -67,8 +67,8 @@ class PaMember {
   const PaStats& stats() const { return stats_; }
 
  private:
-  void on_group_packet(Buffer bytes);
-  void on_ack(flip::Address src, Buffer bytes);
+  void on_group_packet(BufView bytes);
+  void on_ack(flip::Address src, BufView bytes);
   void transmit(bool first);
   void on_timer();
 

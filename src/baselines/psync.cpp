@@ -61,11 +61,11 @@ PsyncMember::PsyncMember(flip::FlipStack& flip, transport::Executor& exec,
       cfg_(config),
       deliver_(std::move(deliver)),
       peers_(ring_.size()) {
-  flip_.join_group(group_, [this](flip::Address, flip::Address, Buffer bytes) {
+  flip_.join_group(group_, [this](flip::Address, flip::Address, BufView bytes) {
     on_packet(std::move(bytes));
   });
   flip_.register_endpoint(my_addr_,
-                          [this](flip::Address, flip::Address, Buffer bytes) {
+                          [this](flip::Address, flip::Address, BufView bytes) {
                             on_packet(std::move(bytes));
                           });
   arm_heartbeat();
@@ -124,8 +124,8 @@ void PsyncMember::arm_heartbeat() {
   });
 }
 
-void PsyncMember::on_packet(Buffer bytes) {
-  auto decoded = decode_ps(bytes);
+void PsyncMember::on_packet(BufView bytes) {
+  auto decoded = decode_ps(bytes.span());
   if (!decoded.has_value()) return;
   const auto cost = exec_.costs().group_deliver +
                     exec_.costs().copy_time(decoded->payload.size());

@@ -92,7 +92,7 @@ class PsyncMember {
 
   void broadcast(std::uint32_t seq, std::uint64_t lamport, bool is_null,
                  const Buffer& data);
-  void on_packet(Buffer bytes);
+  void on_packet(BufView bytes);
   void try_deliver();
   void arm_heartbeat();
   void arm_nack(std::uint32_t sender);

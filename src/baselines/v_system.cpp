@@ -50,11 +50,11 @@ VProcess::VProcess(flip::FlipStack& flip, transport::Executor& exec,
       index_(index),
       server_(std::move(server)) {
   flip_.join_group(group_, [this](flip::Address src, flip::Address,
-                                  Buffer bytes) {
+                                  BufView bytes) {
     on_group_packet(src, std::move(bytes));
   });
   flip_.register_endpoint(my_addr_, [this](flip::Address src, flip::Address,
-                                           Buffer bytes) {
+                                           BufView bytes) {
     on_unicast(src, std::move(bytes));
   });
 }
@@ -96,8 +96,8 @@ void VProcess::group_send(Buffer request, Duration timeout, FirstReplyCb done,
              });
 }
 
-void VProcess::on_group_packet(flip::Address src, Buffer bytes) {
-  auto m = decode_v(bytes);
+void VProcess::on_group_packet(flip::Address src, BufView bytes) {
+  auto m = decode_v(bytes.span());
   if (!m.has_value() || m->type != VType::request) return;
   exec_.post(exec_.costs().group_deliver +
                  exec_.costs().copy_time(m->payload.size()),
@@ -115,8 +115,8 @@ void VProcess::on_group_packet(flip::Address src, Buffer bytes) {
              });
 }
 
-void VProcess::on_unicast(flip::Address, Buffer bytes) {
-  auto m = decode_v(bytes);
+void VProcess::on_unicast(flip::Address, BufView bytes) {
+  auto m = decode_v(bytes.span());
   if (!m.has_value() || m->type != VType::reply) return;
   exec_.post(exec_.costs().group_ack, [this, m = std::move(*m)] {
     if (!call_.has_value() || m.xid != call_->xid) return;  // stale reply

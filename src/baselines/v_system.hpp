@@ -65,8 +65,8 @@ class VProcess {
   const VStats& stats() const { return stats_; }
 
  private:
-  void on_group_packet(flip::Address src, Buffer bytes);
-  void on_unicast(flip::Address src, Buffer bytes);
+  void on_group_packet(flip::Address src, BufView bytes);
+  void on_unicast(flip::Address src, BufView bytes);
 
   flip::FlipStack& flip_;
   transport::Executor& exec_;

@@ -13,30 +13,33 @@ constexpr std::size_t kFixedFields = 35;
 static_assert(kFixedFields <= kEncodedHeaderBytes);
 }  // namespace
 
-Buffer encode_packet(const PacketHeader& h,
-                     std::span<const std::uint8_t> frag) {
-  BufWriter w(kEncodedHeaderBytes + frag.size() + 4);
-  w.u8(kVersion);
-  w.u8(static_cast<std::uint8_t>(h.type));
-  w.u64(h.dst.id);
-  w.u64(h.src.id);
-  w.u32(h.msg_id);
-  w.u32(h.total_len);
-  w.u32(h.frag_offset);
-  w.u32(static_cast<std::uint32_t>(frag.size()));
-  w.u8(h.hop_count);
-  for (std::size_t i = kFixedFields; i < kEncodedHeaderBytes; ++i) w.u8(0);
-  w.raw(frag);
-  const std::uint32_t crc = crc32(w.view());
-  w.u32(crc);
-  return std::move(w).take();
+BufView encode_packet(const PacketHeader& h,
+                      std::span<const std::uint8_t> frag) {
+  SharedBuffer buf =
+      SharedBuffer::allocate(kEncodedHeaderBytes + frag.size() + 4);
+  std::uint8_t* p = buf.data();
+  p[0] = kVersion;
+  p[1] = static_cast<std::uint8_t>(h.type);
+  store_le64(p + 2, h.dst.id);
+  store_le64(p + 10, h.src.id);
+  store_le32(p + 18, h.msg_id);
+  store_le32(p + 22, h.total_len);
+  store_le32(p + 26, h.frag_offset);
+  store_le32(p + 30, static_cast<std::uint32_t>(frag.size()));
+  p[34] = h.hop_count;
+  std::memset(p + kFixedFields, 0, kEncodedHeaderBytes - kFixedFields);
+  if (!frag.empty()) {
+    std::memcpy(p + kEncodedHeaderBytes, frag.data(), frag.size());
+  }
+  const std::size_t body = kEncodedHeaderBytes + frag.size();
+  store_le32(p + body, crc32({p, body}));
+  return buf;  // implicit move; freezes into an immutable view
 }
 
-std::optional<DecodedPacket> decode_packet(
-    std::span<const std::uint8_t> frame) {
+std::optional<DecodedPacket> decode_packet(BufView frame) {
   if (frame.size() < kEncodedHeaderBytes + 4) return std::nullopt;
-  const auto body = frame.first(frame.size() - 4);
-  BufReader tail(frame.subspan(frame.size() - 4));
+  const auto body = frame.span().first(frame.size() - 4);
+  BufReader tail(frame.span().subspan(frame.size() - 4));
   if (tail.u32() != crc32(body)) return std::nullopt;
 
   BufReader r(body);
@@ -55,13 +58,13 @@ std::optional<DecodedPacket> decode_packet(
   if (!r.ok() || version != kVersion) return std::nullopt;
   if (type < 1 || type > 4) return std::nullopt;
   if (r.remaining() != frag_len) return std::nullopt;
-  const auto frag = r.rest();
-  out.fragment.assign(frag.begin(), frag.end());
   // Reassembly sanity: the fragment must lie inside the message.
   if (out.header.frag_offset + frag_len < out.header.frag_offset ||
       out.header.frag_offset + frag_len > out.header.total_len) {
     return std::nullopt;
   }
+  // Zero-copy: the fragment aliases the frame's backing buffer.
+  out.fragment = std::move(frame).subview(kEncodedHeaderBytes, frag_len);
   return out;
 }
 

@@ -42,16 +42,19 @@ struct PacketHeader {
 /// kFlipHeaderBytes = 40; the encoding below is padded to exactly that).
 constexpr std::size_t kEncodedHeaderBytes = 40;
 
-/// Serialize header + fragment payload into one frame payload buffer,
+/// Serialize header + fragment payload into one pooled frame buffer,
 /// appending a CRC32 trailer over everything.
-Buffer encode_packet(const PacketHeader& h, std::span<const std::uint8_t> frag);
+BufView encode_packet(const PacketHeader& h,
+                      std::span<const std::uint8_t> frag);
 
 /// Decode and CRC-check one frame payload. Returns nullopt on any
-/// malformation (short, bad CRC, unknown type).
+/// malformation (short, bad CRC, unknown type). The fragment is a
+/// zero-copy sub-view of `frame` — pass an rvalue to hand over the
+/// frame's reference without touching the refcount.
 struct DecodedPacket {
   PacketHeader header;
-  Buffer fragment;
+  BufView fragment;
 };
-std::optional<DecodedPacket> decode_packet(std::span<const std::uint8_t> frame);
+std::optional<DecodedPacket> decode_packet(BufView frame);
 
 }  // namespace amoeba::flip

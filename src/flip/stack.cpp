@@ -17,7 +17,7 @@ std::size_t FlipStack::add_device(transport::Device& dev) {
   const std::size_t index = devices_.size();
   devices_.push_back(&dev);
   dev.set_receive_handler(
-      [this, index](transport::StationId from, Buffer payload) {
+      [this, index](transport::StationId from, BufView payload) {
         on_frame(index, from, std::move(payload));
       });
   if (forwarding_) dev.set_promiscuous(true);
@@ -47,7 +47,7 @@ void FlipStack::leave_group(Address group) {
   for (transport::Device* dev : devices_) dev->unsubscribe(group.id);
 }
 
-Status FlipStack::send(Address dst, Address src, Buffer msg) {
+Status FlipStack::send(Address dst, Address src, BufView msg) {
   if (dst.is_null()) return Status::invalid_argument;
   if (msg.size() > config_.max_message) return Status::overflow;
   ++stats_.messages_sent;
@@ -56,10 +56,10 @@ Status FlipStack::send(Address dst, Address src, Buffer msg) {
     // Transmit first, then loop a copy back to a local subscriber (the
     // wire never echoes our own multicast). Order matters on the
     // simulator: the driver's transmit work preempts local delivery, as
-    // in the real kernel.
+    // in the real kernel. The "copy" is a view: same backing bytes.
     const bool loopback = groups_.count(dst) > 0;
     if (loopback) {
-      Buffer copy = msg;
+      BufView copy = msg;
       transmit(PacketType::multidata, dst, src, std::move(msg), std::nullopt,
                kMaxHops);
       deliver_local(src, dst, std::move(copy));
@@ -93,7 +93,7 @@ Status FlipStack::send(Address dst, Address src, Buffer msg) {
 }
 
 void FlipStack::transmit(PacketType type, Address dst, Address src,
-                         Buffer msg, std::optional<Route> unicast_to,
+                         BufView msg, std::optional<Route> unicast_to,
                          std::uint8_t hops) {
   PacketHeader h;
   h.type = type;
@@ -112,7 +112,7 @@ void FlipStack::transmit(PacketType type, Address dst, Address src,
         std::min<std::size_t>(mtu, msg.size() - offset));
     h.frag_offset = offset;
     const std::span<const std::uint8_t> frag(msg.data() + offset, frag_len);
-    Buffer frame = encode_packet(h, frag);
+    BufView frame = encode_packet(h, frag);
     // Wire accounting: link header + FLIP header + this fragment's payload
     // bytes (which already include any upper-layer header bytes).
     const std::size_t wire = kEthHeaderBytes + kFlipHeaderBytes + frag_len;
@@ -127,12 +127,12 @@ void FlipStack::transmit(PacketType type, Address dst, Address src,
                                                        std::move(frame), wire);
           } else if (is_group_address(dst)) {
             for (std::size_t d = 0; d < devices_.size(); ++d) {
-              Buffer copy = d + 1 < devices_.size() ? frame : std::move(frame);
+              BufView copy = d + 1 < devices_.size() ? frame : std::move(frame);
               devices_[d]->send_multicast(dst.id, std::move(copy), wire);
             }
           } else {
             for (std::size_t d = 0; d < devices_.size(); ++d) {
-              Buffer copy = d + 1 < devices_.size() ? frame : std::move(frame);
+              BufView copy = d + 1 < devices_.size() ? frame : std::move(frame);
               devices_[d]->send_broadcast(std::move(copy), wire);
             }
           }
@@ -169,12 +169,12 @@ void FlipStack::fire_locate(Address dst) {
   h.type = PacketType::locate;
   h.dst = dst;
   h.total_len = 8;
-  Buffer frame = encode_packet(h, std::move(w).take());
+  BufView frame = encode_packet(h, std::move(w).take());
   const std::size_t wire = kEthHeaderBytes + kFlipHeaderBytes + 8;
   exec_.post(exec_.costs().flip_packet + devices_[0]->tx_cost(),
              [this, frame = std::move(frame), wire]() mutable {
                for (std::size_t d = 0; d < devices_.size(); ++d) {
-                 Buffer copy =
+                 BufView copy =
                      d + 1 < devices_.size() ? frame : std::move(frame);
                  devices_[d]->send_broadcast(std::move(copy), wire);
                }
@@ -232,13 +232,13 @@ void FlipStack::send_here_is(std::size_t dev, transport::StationId to,
   h.type = PacketType::here_is;
   h.src = target;
   h.total_len = 8;
-  Buffer reply = encode_packet(h, std::move(w).take());
+  BufView reply = encode_packet(h, std::move(w).take());
   const std::size_t wire = kEthHeaderBytes + kFlipHeaderBytes + 8;
   devices_[dev]->send_unicast(to, std::move(reply), wire);
 }
 
-Buffer FlipStack::reencode(const DecodedPacket& pkt,
-                           std::uint8_t hops) const {
+BufView FlipStack::reencode(const DecodedPacket& pkt,
+                            std::uint8_t hops) const {
   PacketHeader h = pkt.header;
   h.hop_count = hops;
   return encode_packet(h, pkt.fragment);
@@ -278,7 +278,7 @@ void FlipStack::flood(std::size_t in_dev, const DecodedPacket& pkt) {
   for (std::size_t d = 0; d < devices_.size(); ++d) {
     if (d == in_dev) continue;
     ++stats_.packets_forwarded;
-    Buffer copy = reencode(pkt, pkt.header.hop_count - 1);
+    BufView copy = reencode(pkt, pkt.header.hop_count - 1);
     if (pkt.header.type == PacketType::multidata) {
       devices_[d]->send_multicast(pkt.header.dst.id, std::move(copy), wire);
     } else {
@@ -288,11 +288,11 @@ void FlipStack::flood(std::size_t in_dev, const DecodedPacket& pkt) {
 }
 
 void FlipStack::on_frame(std::size_t dev, transport::StationId from,
-                         Buffer payload) {
+                         BufView payload) {
   ++stats_.packets_received;
   exec_.post(exec_.costs().flip_packet,
-             [this, dev, from, payload = std::move(payload)] {
-               auto decoded = decode_packet(payload);
+             [this, dev, from, payload = std::move(payload)]() mutable {
+               auto decoded = decode_packet(std::move(payload));
                if (!decoded.has_value()) {
                  ++stats_.bad_packets;
                  return;
@@ -388,7 +388,8 @@ void FlipStack::handle_data(std::size_t dev, DecodedPacket pkt) {
     p.bytes += pkt.fragment.size();
   }
   if (p.bytes >= p.data.size()) {
-    Buffer msg = std::move(p.data);
+    // Adopt the reassembled vector into a view: no copy.
+    BufView msg = std::move(p.data);
     const Address src = h.src;
     const Address dst = p.dst;
     partials_.erase(it);
@@ -413,7 +414,7 @@ void FlipStack::gc_reassembly() {
   }
 }
 
-void FlipStack::deliver_local(Address src, Address dst, Buffer msg) {
+void FlipStack::deliver_local(Address src, Address dst, BufView msg) {
   const auto& table = is_group_address(dst) ? groups_ : endpoints_;
   const auto it = table.find(dst);
   if (it == table.end()) return;

@@ -67,8 +67,9 @@ struct Stats {
 class FlipStack {
  public:
   /// Delivery callback: full message from `src` addressed to `dst` (a local
-  /// endpoint address or a joined group address).
-  using Handler = std::function<void(Address src, Address dst, Buffer msg)>;
+  /// endpoint address or a joined group address). Single-fragment messages
+  /// arrive as zero-copy views into the received frame.
+  using Handler = std::function<void(Address src, Address dst, BufView msg)>;
 
   FlipStack(transport::Executor& exec, transport::Device& dev,
             Config config = {});
@@ -101,7 +102,8 @@ class FlipStack {
   /// Datagram send. Group addresses multicast; process addresses unicast
   /// (with transparent locate on a route-cache miss). Local destinations
   /// short-circuit. Unreliable: delivery is best-effort, like IP.
-  Status send(Address dst, Address src, Buffer msg);
+  /// Accepts a BufView (a `Buffer` rvalue converts without copying).
+  Status send(Address dst, Address src, BufView msg);
 
   /// Drop the cached route for `addr` (peer suspected dead / migrated).
   void invalidate_route(Address addr);
@@ -117,7 +119,7 @@ class FlipStack {
 
  private:
   struct PendingLocate {
-    std::vector<std::pair<Address /*src*/, Buffer>> queued;
+    std::vector<std::pair<Address /*src*/, BufView>> queued;
     /// In-transit packets held by a router: forwarded verbatim (original
     /// headers intact, so reassembly keys survive the extra hop).
     std::vector<DecodedPacket> queued_forwards;
@@ -135,19 +137,19 @@ class FlipStack {
   };
   using ReassemblyKey = std::pair<std::uint64_t, std::uint32_t>;
 
-  void transmit(PacketType type, Address dst, Address src, Buffer msg,
+  void transmit(PacketType type, Address dst, Address src, BufView msg,
                 std::optional<Route> unicast_to, std::uint8_t hops);
   void start_locate(Address dst);
   void fire_locate(Address dst);
-  void on_frame(std::size_t dev, transport::StationId from, Buffer payload);
+  void on_frame(std::size_t dev, transport::StationId from, BufView payload);
   void handle_data(std::size_t dev, DecodedPacket pkt);
   void forward_unicast(std::size_t in_dev, const DecodedPacket& pkt);
   void flood(std::size_t in_dev, const DecodedPacket& pkt);
   void send_here_is(std::size_t dev, transport::StationId to, Address target);
-  void deliver_local(Address src, Address dst, Buffer msg);
+  void deliver_local(Address src, Address dst, BufView msg);
   void learn_route(Address addr, std::size_t dev, transport::StationId st);
   void gc_reassembly();
-  Buffer reencode(const DecodedPacket& pkt, std::uint8_t hops) const;
+  BufView reencode(const DecodedPacket& pkt, std::uint8_t hops) const;
 
   transport::Executor& exec_;
   std::vector<transport::Device*> devices_;

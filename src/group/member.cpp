@@ -47,7 +47,7 @@ GroupMember::GroupMember(flip::FlipStack& flip, transport::Executor& exec,
                 }) {
   detector_.configure(config.status_poll, config.status_retries);
   flip_.register_endpoint(my_addr_, [this](flip::Address src, flip::Address,
-                                           Buffer bytes) {
+                                           BufView bytes) {
     on_member_packet(src, std::move(bytes));
   });
 }
@@ -85,7 +85,7 @@ void GroupMember::create_group(flip::Address group, StatusCb done) {
   horizon_[my_id_] = cfg_.first_seq;
   state_ = State::running;
   flip_.join_group(gaddr_, [this](flip::Address src, flip::Address,
-                                  Buffer bytes) {
+                                  BufView bytes) {
     on_group_packet(src, std::move(bytes));
   });
   start_status_timer();
@@ -138,7 +138,7 @@ void GroupMember::finish_join(const Snapshot& snap) {
   history_.clear();
   state_ = State::running;
   flip_.join_group(gaddr_, [this](flip::Address src, flip::Address,
-                                  Buffer bytes) {
+                                  BufView bytes) {
     on_group_packet(src, std::move(bytes));
   });
   start_status_timer();
@@ -264,16 +264,16 @@ void GroupMember::enter_failed(Status why) {
 // Wire plumbing
 // --------------------------------------------------------------------------
 
-void GroupMember::on_group_packet(flip::Address src, Buffer bytes) {
-  auto m = decode_wire(bytes);
+void GroupMember::on_group_packet(flip::Address src, BufView bytes) {
+  auto m = decode_wire(std::move(bytes));
   if (!m.has_value()) return;
   exec_.post(dispatch_cost(*m), [this, src, m = std::move(*m)]() mutable {
     dispatch(src, std::move(m));
   });
 }
 
-void GroupMember::on_member_packet(flip::Address src, Buffer bytes) {
-  auto m = decode_wire(bytes);
+void GroupMember::on_member_packet(flip::Address src, BufView bytes) {
+  auto m = decode_wire(std::move(bytes));
   if (!m.has_value()) return;
   exec_.post(dispatch_cost(*m), [this, src, m = std::move(*m)]() mutable {
     dispatch(src, std::move(m));
@@ -289,12 +289,12 @@ Duration GroupMember::dispatch_cost(const WireMsg& m) const {
       // per-member bookkeeping and the copy into the history buffer.
       return c.group_sequence +
              c.group_per_member * static_cast<std::int64_t>(members_.size()) +
-             c.copy_time(m.payload.size());
+             c.copy_time(m.payload.size(), c.seq_rx_copies);
     case WireType::seq_data:
     case WireType::retransmit:
       // Receiver-side group work: copy from the Lance into the history
       // buffer plus protocol processing.
-      return c.group_deliver + c.copy_time(m.payload.size());
+      return c.group_deliver + c.copy_time(m.payload.size(), c.recv_copies);
     case WireType::seq_accept:
       return c.group_deliver;
     case WireType::resil_ack:
@@ -487,7 +487,8 @@ void GroupMember::fill_pipeline() {
     o.via_bb = use_bb(o.data.size());
     o.deliver_mark = next_deliver_;
     // Sender-side copy: user buffer into the kernel.
-    exec_.charge(exec_.costs().copy_time(o.data.size()));
+    const auto& costs = exec_.costs();
+    exec_.charge(costs.copy_time(o.data.size(), costs.sender_copies));
     outs_.push_back(std::move(o));
     if (state_ == State::running) transmit_entry(outs_.back());
     // While recovering, the request stays parked and is transmitted when

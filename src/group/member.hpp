@@ -138,8 +138,8 @@ class GroupMember {
 
  private:
   // --- Message plumbing -----------------------------------------------------
-  void on_group_packet(flip::Address src, Buffer bytes);   // multicast path
-  void on_member_packet(flip::Address src, Buffer bytes);  // unicast path
+  void on_group_packet(flip::Address src, BufView bytes);   // multicast path
+  void on_member_packet(flip::Address src, BufView bytes);  // unicast path
   void dispatch(const flip::Address& src, WireMsg m);
   void send_to_sequencer(WireMsg m);
   void send_to_address(const flip::Address& to, WireMsg m);
@@ -161,7 +161,7 @@ class GroupMember {
     MemberId sender{kInvalidMember};
     MessageKind kind{MessageKind::app};
     std::uint32_t msg_id{0};
-    Buffer data;
+    BufView data;
     bool tentative{true};
     bool have_data{false};
     Time arrived{};  // when we first heard of this seq (NACK aging)
@@ -196,7 +196,7 @@ class GroupMember {
   /// Core assignment; returns false when the request was refused
   /// (draining or history full) — the caller must not advance FIFO state.
   bool seq_assign(MemberId sender, std::uint32_t msg_id, MessageKind kind,
-                  Buffer data, bool via_bb);
+                  BufView data, bool via_bb);
   void seq_on_resil_ack(const WireMsg& m);
   void seq_finalize(SeqNum seq);
   void seq_tentative_sweep();
@@ -261,7 +261,7 @@ class GroupMember {
   // Receiver.
   SeqNum next_deliver_{0};
   std::map<SeqNum, PendingMsg> ooo_;
-  std::map<std::pair<MemberId, std::uint32_t>, Buffer> bb_stash_;
+  std::map<std::pair<MemberId, std::uint32_t>, BufView> bb_stash_;
   std::deque<GroupMessage> history_;  // contiguous; front has seq hist_base_
   SeqNum hist_base_{0};
   transport::TimerId nack_timer_{transport::kInvalidTimer};
@@ -274,7 +274,7 @@ class GroupMember {
   // Sender.
   struct Outgoing {
     std::uint32_t msg_id{0};
-    Buffer data;
+    BufView data;
     StatusCb done;
     int attempts{0};
     bool via_bb{false};
@@ -314,7 +314,7 @@ class GroupMember {
   struct SenderState {
     std::uint32_t expected{1};  // next msg_id to sequence
     /// Early arrivals waiting for a gap: msg_id -> (payload, via_bb, kind).
-    std::map<std::uint32_t, std::pair<Buffer, bool>> held;
+    std::map<std::uint32_t, std::pair<BufView, bool>> held;
     /// Recently assigned msg_id -> seq (bounded; newest last).
     std::map<std::uint32_t, SeqNum> recent;
   };

@@ -5,10 +5,7 @@
 namespace amoeba::group {
 
 namespace {
-/// Padded encoded header size: the paper's 28-byte group header plus the
-/// 32-byte Amoeba user header.
-constexpr std::size_t kHeaderBytes =
-    flip::kGroupHeaderBytes + flip::kUserHeaderBytes;
+constexpr std::size_t kHeaderBytes = kWireHeaderBytes;
 
 // type(1) inc(4) sender(4) piggy(4) msg_id(4) seq(4) flags(1) kind(1)
 // range_from(4) range_count(4) addr(8) payload_len(4) = 43.
@@ -16,48 +13,54 @@ constexpr std::size_t kFixedFields = 43;
 static_assert(kFixedFields <= kHeaderBytes);
 }  // namespace
 
-Buffer encode_wire(const WireMsg& m) {
-  BufWriter w(kHeaderBytes + m.payload.size());
-  w.u8(static_cast<std::uint8_t>(m.type));
-  w.u32(m.incarnation);
-  w.u32(m.sender);
-  w.u32(m.piggyback);
-  w.u32(m.msg_id);
-  w.u32(m.seq);
-  w.u8(m.flags);
-  w.u8(static_cast<std::uint8_t>(m.kind));
-  w.u32(m.range_from);
-  w.u32(m.range_count);
-  w.u64(m.addr.id);
-  w.u32(static_cast<std::uint32_t>(m.payload.size()));
-  for (std::size_t i = kFixedFields; i < kHeaderBytes; ++i) w.u8(0);
-  w.raw(m.payload);
-  return std::move(w).take();
+BufView encode_wire(const WireMsg& m) {
+  SharedBuffer buf = SharedBuffer::allocate(kHeaderBytes + m.payload.size());
+  std::uint8_t* p = buf.data();
+  p[0] = static_cast<std::uint8_t>(m.type);
+  store_le32(p + 1, m.incarnation);
+  store_le32(p + 5, m.sender);
+  store_le32(p + 9, m.piggyback);
+  store_le32(p + 13, m.msg_id);
+  store_le32(p + 17, m.seq);
+  p[21] = m.flags;
+  p[22] = static_cast<std::uint8_t>(m.kind);
+  store_le32(p + 23, m.range_from);
+  store_le32(p + 27, m.range_count);
+  store_le64(p + 31, m.addr.id);
+  store_le32(p + 39, static_cast<std::uint32_t>(m.payload.size()));
+  std::memset(p + kFixedFields, 0, kHeaderBytes - kFixedFields);
+  if (!m.payload.empty()) {
+    std::memcpy(p + kHeaderBytes, m.payload.data(), m.payload.size());
+  }
+  return buf;  // implicit move; freezes into an immutable view
 }
 
-std::optional<WireMsg> decode_wire(std::span<const std::uint8_t> bytes) {
-  BufReader r(bytes);
+std::optional<WireMsg> decode_wire(BufView bytes) {
+  // One bounds check up front, then direct fixed-offset loads: this is the
+  // per-datagram hot path, so no per-field cursor arithmetic.
+  if (bytes.size() < kHeaderBytes) return std::nullopt;
+  const std::uint8_t* p = bytes.data();
   WireMsg m;
-  m.type = static_cast<WireType>(r.u8());
-  m.incarnation = r.u32();
-  m.sender = r.u32();
-  m.piggyback = r.u32();
-  m.msg_id = r.u32();
-  m.seq = r.u32();
-  m.flags = r.u8();
-  m.kind = static_cast<MessageKind>(r.u8());
-  m.range_from = r.u32();
-  m.range_count = r.u32();
-  m.addr = flip::Address{r.u64()};
-  const std::uint32_t payload_len = r.u32();
-  (void)r.raw(kHeaderBytes - kFixedFields);
-  if (!r.ok() || r.remaining() != payload_len) return std::nullopt;
+  m.type = static_cast<WireType>(p[0]);
+  m.incarnation = load_le32(p + 1);
+  m.sender = load_le32(p + 5);
+  m.piggyback = load_le32(p + 9);
+  m.msg_id = load_le32(p + 13);
+  m.seq = load_le32(p + 17);
+  m.flags = p[21];
+  m.kind = static_cast<MessageKind>(p[22]);
+  m.range_from = load_le32(p + 23);
+  m.range_count = load_le32(p + 27);
+  m.addr = flip::Address{load_le64(p + 31)};
+  const std::uint32_t payload_len = load_le32(p + 39);
+  if (bytes.size() - kHeaderBytes != payload_len) return std::nullopt;
   const auto t = static_cast<std::uint8_t>(m.type);
   if (t < 1 || t > static_cast<std::uint8_t>(WireType::fc_cts)) {
     return std::nullopt;
   }
-  const auto rest = r.rest();
-  m.payload.assign(rest.begin(), rest.end());
+  // Zero-copy: the payload is a slice of the datagram, and the steal keeps
+  // this off the atomic refcount.
+  m.payload = std::move(bytes).subview(kHeaderBytes, payload_len);
   return m;
 }
 

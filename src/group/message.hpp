@@ -20,9 +20,16 @@
 #include "common/buffer.hpp"
 #include "common/seqnum.hpp"
 #include "flip/address.hpp"
+#include "flip/wire.hpp"
 #include "group/types.hpp"
 
 namespace amoeba::group {
+
+/// Padded encoded header size: the paper's 28-byte group header plus the
+/// 32-byte Amoeba user header. A decoded payload view starts exactly this
+/// many bytes into the received datagram.
+inline constexpr std::size_t kWireHeaderBytes =
+    flip::kGroupHeaderBytes + flip::kUserHeaderBytes;
 
 enum class WireType : std::uint8_t {
   data_pb = 1,    // sender -> sequencer (point-to-point request, PB method)
@@ -65,14 +72,21 @@ struct WireMsg {
   std::uint32_t range_count{0};
   /// join_req: joiner's process address; reset_invite: coordinator address.
   flip::Address addr;
-  Buffer payload;
+  /// Payload view. On receive this aliases the datagram's backing buffer
+  /// (zero-copy); on send it aliases the user's adopted buffer or the
+  /// sequencer's history entry.
+  BufView payload;
 };
 
 /// Encode to a FLIP message. Header is padded to 60 bytes, so the wire
 /// accounting size of the result is 60 + payload bytes (FLIP adds 40, the
-/// link adds 16: total 116 + payload).
-Buffer encode_wire(const WireMsg& m);
-std::optional<WireMsg> decode_wire(std::span<const std::uint8_t> bytes);
+/// link adds 16: total 116 + payload). Header and payload are written into
+/// one pooled allocation; the payload bytes are copied exactly once here.
+BufView encode_wire(const WireMsg& m);
+/// Decode a datagram. Takes the view by value: the returned message's
+/// payload is a sub-view of `bytes` (zero-copy) — pass an rvalue to hand
+/// over the reference without touching the refcount.
+std::optional<WireMsg> decode_wire(BufView bytes);
 
 // --- Structured payload helpers ------------------------------------------
 
@@ -113,7 +127,7 @@ struct RecoveredMessage {
   MemberId sender{kInvalidMember};
   MessageKind kind{MessageKind::app};
   std::uint32_t msg_id{0};
-  Buffer data;
+  BufView data;
 };
 Buffer encode_recovered(const std::vector<RecoveredMessage>& msgs);
 std::optional<std::vector<RecoveredMessage>> decode_recovered(

@@ -54,7 +54,7 @@ void GroupMember::seq_on_request(const flip::Address&, WireMsg m,
   while (true) {
     const auto held = ss.held.find(ss.expected);
     if (held == ss.held.end()) break;
-    Buffer data = std::move(held->second.first);
+    BufView data = std::move(held->second.first);
     const bool held_bb = held->second.second;
     ss.held.erase(held);
     if (!seq_assign(m.sender, ss.expected, MessageKind::app, std::move(data),
@@ -66,7 +66,7 @@ void GroupMember::seq_on_request(const flip::Address&, WireMsg m,
 }
 
 bool GroupMember::seq_assign(MemberId sender, std::uint32_t msg_id,
-                             MessageKind kind, Buffer data, bool via_bb) {
+                             MessageKind kind, BufView data, bool via_bb) {
   const bool app = kind == MessageKind::app;
   if (app && (handoff_issued_ || leaving_)) {
     // Draining for a hand-off (leave or transfer): refuse new work so the
@@ -95,8 +95,8 @@ bool GroupMember::seq_assign(MemberId sender, std::uint32_t msg_id,
     if (cfg_.flow_control) seq_release_fc_slot(sender);
   }
   ++stats_.messages_sequenced;
-  // The sequencer's extra copy: history buffer -> Lance for the broadcast.
-  exec_.charge(exec_.costs().copy_time(data.size()));
+  // The sequencer's re-emit copy: history buffer -> Lance for the broadcast.
+  exec_.charge(exec_.costs().copy_time(data.size(), exec_.costs().seq_tx_copies));
 
   WireMsg bc;
   bc.seq = s;
@@ -261,7 +261,8 @@ void GroupMember::seq_serve_retransmit(MemberId to, SeqNum seq) {
     return;
   }
   ++stats_.retransmits_served;
-  exec_.charge(exec_.costs().copy_time(m.payload.size()));
+  exec_.charge(
+      exec_.costs().copy_time(m.payload.size(), exec_.costs().seq_tx_copies));
   if (to == my_id_) return;  // we obviously have it
   send_to_address(target, std::move(m));
 }

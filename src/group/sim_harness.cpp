@@ -16,7 +16,8 @@ SimProcess::SimProcess(sim::Node& node, flip::Address addr, GroupConfig cfg)
                 // CPU task so delivery timestamps land after U3, matching
                 // the endpoint of the paper's Figure 2 breakdown.
                 const auto& c = exec_.costs();
-                Duration cost = c.user_deliver + c.copy_time(m.data.size());
+                Duration cost = c.user_deliver +
+                                c.copy_time(m.data.size(), c.user_copies);
                 // Waking the blocked receiving thread costs a full context
                 // switch only when the CPU is otherwise idle; on a saturated
                 // node the thread is runnable and resumes with the queued

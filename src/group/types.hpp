@@ -44,7 +44,9 @@ struct GroupMessage {
   /// Sender-local message counter; lets a rebuilt sequencer suppress
   /// duplicates of messages that survived into the recovered history.
   std::uint32_t sender_msg_id{0};
-  Buffer data;
+  /// Payload view; shares backing bytes with the history entry and (on
+  /// receive) the datagram it arrived in.
+  BufView data;
 };
 
 /// Decoded payload of join/leave/expel system messages.

@@ -8,7 +8,7 @@ RpcEndpoint::RpcEndpoint(flip::FlipStack& flip, transport::Executor& exec,
                          flip::Address my_address, RpcConfig config)
     : flip_(flip), exec_(exec), my_addr_(my_address), cfg_(config) {
   flip_.register_endpoint(
-      my_addr_, [this](flip::Address src, flip::Address, Buffer bytes) {
+      my_addr_, [this](flip::Address src, flip::Address, BufView bytes) {
         on_packet(src, std::move(bytes));
       });
 }
@@ -81,7 +81,7 @@ void RpcEndpoint::on_call_timer(std::uint64_t xid) {
   transmit_call(xid);
 }
 
-void RpcEndpoint::on_packet(flip::Address src, Buffer bytes) {
+void RpcEndpoint::on_packet(flip::Address src, BufView bytes) {
   BufReader r(bytes);
   const auto type = static_cast<MsgType>(r.u8());
   const std::uint64_t xid = r.u64();

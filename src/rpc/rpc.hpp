@@ -88,7 +88,7 @@ class RpcEndpoint {
     Time expires{};
   };
 
-  void on_packet(flip::Address src, Buffer bytes);
+  void on_packet(flip::Address src, BufView bytes);
   void transmit_call(std::uint64_t xid);
   void on_call_timer(std::uint64_t xid);
   Buffer encode(MsgType type, std::uint64_t xid, flip::Address client,

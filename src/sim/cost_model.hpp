@@ -93,6 +93,22 @@ struct CostModel {
   /// user space); the sequencer three times (Section 4).
   double copy_us_per_byte = 0.15;
 
+  /// Per-site copy counts. The protocol code charges
+  /// `copy_time(bytes, <site>_copies)` at each point the paper's kernel
+  /// copied a payload; the defaults (1.0 each) reproduce the paper's
+  /// copy-heavy path. A zero-copy implementation zeroes the sites its
+  /// buffer sharing eliminates — see zero_copy().
+  /// Sender: user buffer -> kernel (fill_pipeline).
+  double sender_copies = 1.0;
+  /// Sequencer receive: Lance -> history buffer (data_pb / data_bb rx).
+  double seq_rx_copies = 1.0;
+  /// Sequencer transmit: history -> Lance (seq_data emit + retransmits).
+  double seq_tx_copies = 1.0;
+  /// Member receive: Lance -> history buffer (seq_data / retransmit rx).
+  double recv_copies = 1.0;
+  /// Delivery: history buffer -> user space (ReceiveFromGroup copy-out).
+  double user_copies = 1.0;
+
   /// Wire time for a frame of `wire_bytes` (headers included).
   Duration wire_time(std::size_t wire_bytes) const noexcept {
     const std::size_t n =
@@ -106,8 +122,20 @@ struct CostModel {
     return Duration::from_micros_f(static_cast<double>(n) * copy_us_per_byte);
   }
 
+  /// CPU time to copy `n` bytes `copies` times (per-site copy accounting).
+  Duration copy_time(std::size_t n, double copies) const noexcept {
+    return Duration::from_micros_f(static_cast<double>(n) * copy_us_per_byte *
+                                   copies);
+  }
+
   /// The paper's testbed: defaults above.
   static CostModel mc68030_ether10() { return CostModel{}; }
+
+  /// The paper's testbed with a zero-copy kernel message path: received
+  /// payloads are delivered as views of the datagram (no Lance -> history
+  /// or history -> user copies); the sender and the sequencer's re-emit
+  /// still pay one copy each to place bytes on the wire.
+  static CostModel zero_copy();
 
   /// A zero-cost model: only wire time remains. Used by functional tests
   /// that care about protocol correctness, not timing.

@@ -158,11 +158,15 @@ void EthernetSegment::deliver(const Frame& frame, Nic* nic) {
     copies = 2;
   }
   for (int i = 0; i < copies; ++i) {
-    Frame copy = frame;
+    Frame copy = frame;  // payload is a view: refcount bump, not a memcpy
     if (faults_.garble_prob > 0 && rng_.chance(faults_.garble_prob)) {
       copy.garbled = true;
       if (!copy.payload.empty()) {
-        copy.payload[rng_.below(copy.payload.size())] ^= 0xFF;
+        // Copy-on-garble: other receivers alias the same backing bytes, so
+        // mutate a private copy only.
+        SharedBuffer garbled = SharedBuffer::copy_of(copy.payload);
+        garbled.data()[rng_.below(garbled.size())] ^= 0xFF;
+        copy.payload = std::move(garbled);
       }
       ++frames_garbled_;
     }

@@ -43,7 +43,10 @@ struct Frame {
   /// broadcast, delivered everywhere.
   std::uint64_t mcast_filter{0};
   std::size_t wire_bytes{0};
-  Buffer payload;
+  /// Immutable payload view: every receiver of a broadcast shares the same
+  /// backing bytes (a refcount bump per receiver, not a copy). Fault
+  /// injection garbles a private copy, never the shared backing.
+  BufView payload;
   bool garbled{false};  // set by fault injection; receiver drops on CRC
 };
 

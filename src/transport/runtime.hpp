@@ -76,18 +76,19 @@ class Device {
 
   /// Send `payload` to one station. `wire_bytes` is the accounting size of
   /// the frame on the wire, headers included (the simulator bills wire
-  /// time for it; the socket runtime ignores it).
-  virtual void send_unicast(StationId dst, Buffer payload,
+  /// time for it; the socket runtime ignores it). The payload is an
+  /// immutable view: fan-out and queueing share the backing bytes.
+  virtual void send_unicast(StationId dst, BufView payload,
                             std::size_t wire_bytes) = 0;
 
   /// Send to every station subscribed to `mcast_key` (one frame on a
   /// multicast-capable wire; fan-out unicast otherwise — FLIP treats
   /// hardware multicast as an optimization).
-  virtual void send_multicast(std::uint64_t mcast_key, Buffer payload,
+  virtual void send_multicast(std::uint64_t mcast_key, BufView payload,
                               std::size_t wire_bytes) = 0;
 
   /// Send to every station on the wire (used by FLIP's locate).
-  virtual void send_broadcast(Buffer payload, std::size_t wire_bytes) = 0;
+  virtual void send_broadcast(BufView payload, std::size_t wire_bytes) = 0;
 
   /// Subscribe / unsubscribe the local MAC multicast filter.
   virtual void subscribe(std::uint64_t mcast_key) = 0;
@@ -97,9 +98,24 @@ class Device {
   virtual void set_promiscuous(bool on) = 0;
 
   /// Receive hook: called once per good frame, in the Executor context,
-  /// with the sending station and the frame payload.
+  /// with the sending station and the frame payload (a view into the
+  /// runtime's receive buffer — hold it as long as needed, the backing
+  /// stays alive with the view).
   virtual void set_receive_handler(
-      std::function<void(StationId src, Buffer payload)> fn) = 0;
+      std::function<void(StationId src, BufView payload)> fn) = 0;
+
+  // Lock protocol (threaded runtimes; the simulator is single-threaded):
+  //
+  //   - All Device methods and Executor::post/charge/set_timer/cancel_timer
+  //     may be called from any thread, but protocol code runs exclusively
+  //     inside the runtime's serialized Executor context (its loop thread),
+  //     so in practice send_* and the receive handler execute there.
+  //   - The receive handler is invoked on the loop thread with the
+  //     runtime's serialization lock held — reentering the runtime from
+  //     the handler is safe; blocking in it stalls the loop.
+  //   - Configuration that the I/O path reads without locking (e.g. a UDP
+  //     station table) must be installed before the runtime starts and is
+  //     immutable afterwards.
 };
 
 }  // namespace amoeba::transport

@@ -20,7 +20,7 @@ void SimDevice::transmit(sim::Frame frame) {
   node_.nic(port_).send(std::move(frame));
 }
 
-void SimDevice::send_unicast(StationId dst, Buffer payload,
+void SimDevice::send_unicast(StationId dst, BufView payload,
                              std::size_t wire_bytes) {
   sim::Frame f;
   f.dst = dst;
@@ -29,7 +29,7 @@ void SimDevice::send_unicast(StationId dst, Buffer payload,
   transmit(std::move(f));
 }
 
-void SimDevice::send_multicast(std::uint64_t mcast_key, Buffer payload,
+void SimDevice::send_multicast(std::uint64_t mcast_key, BufView payload,
                                std::size_t wire_bytes) {
   sim::Frame f;
   f.dst = sim::kBroadcastStation;
@@ -39,7 +39,7 @@ void SimDevice::send_multicast(std::uint64_t mcast_key, Buffer payload,
   transmit(std::move(f));
 }
 
-void SimDevice::send_broadcast(Buffer payload, std::size_t wire_bytes) {
+void SimDevice::send_broadcast(BufView payload, std::size_t wire_bytes) {
   sim::Frame f;
   f.dst = sim::kBroadcastStation;
   f.mcast_filter = 0;
@@ -57,7 +57,7 @@ void SimDevice::unsubscribe(std::uint64_t mcast_key) {
 }
 
 void SimDevice::set_receive_handler(
-    std::function<void(StationId, Buffer)> fn) {
+    std::function<void(StationId, BufView)> fn) {
   node_.set_port_frame_handler(
       port_, [fn = std::move(fn)](sim::Frame frame) {
         fn(frame.src, std::move(frame.payload));

@@ -42,18 +42,18 @@ class SimDevice final : public Device {
   StationId station() const override { return node_.nic(port_).station(); }
   std::size_t max_payload() const override;
   Duration tx_cost() const override { return node_.cost_model().eth_tx; }
-  void send_unicast(StationId dst, Buffer payload,
+  void send_unicast(StationId dst, BufView payload,
                     std::size_t wire_bytes) override;
-  void send_multicast(std::uint64_t mcast_key, Buffer payload,
+  void send_multicast(std::uint64_t mcast_key, BufView payload,
                       std::size_t wire_bytes) override;
-  void send_broadcast(Buffer payload, std::size_t wire_bytes) override;
+  void send_broadcast(BufView payload, std::size_t wire_bytes) override;
   void subscribe(std::uint64_t mcast_key) override;
   void unsubscribe(std::uint64_t mcast_key) override;
   void set_promiscuous(bool on) override {
     node_.nic(port_).set_promiscuous(on);
   }
   void set_receive_handler(
-      std::function<void(StationId, Buffer)> fn) override;
+      std::function<void(StationId, BufView)> fn) override;
 
  private:
   void transmit(sim::Frame frame);

@@ -1,3 +1,8 @@
+// _GNU_SOURCE exposes sendmmsg/recvmmsg; must precede every glibc header.
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
 #include "transport/udp_runtime.hpp"
 
 #include <arpa/inet.h>
@@ -8,6 +13,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
@@ -27,6 +33,13 @@ const sim::CostModel& zero_costs() {
   static const sim::CostModel model = sim::CostModel::free();
   return model;
 }
+
+/// Datagrams per sendmmsg/recvmmsg syscall. 32 covers the full multicast
+/// fan-out of a sizeable group plus a pipeline of back-to-back sends.
+constexpr unsigned kIoBatch = 32;
+/// Pooled receive-slot size: max_payload (1400) + FLIP header + CRC with
+/// headroom; matches a pool size class so slots recycle via the freelist.
+constexpr std::size_t kRxSlotBytes = 2048;
 
 }  // namespace
 
@@ -65,6 +78,10 @@ UdpRuntime::~UdpRuntime() {
 void UdpRuntime::set_station_table(
     StationId self_station,
     const std::vector<std::pair<std::string, std::uint16_t>>& endpoints) {
+  if (running_.load()) {
+    throw std::logic_error(
+        "UdpRuntime: station table is immutable after start()");
+  }
   std::lock_guard lock(mu_);
   self_ = self_station;
   stations_.clear();
@@ -111,31 +128,66 @@ void UdpRuntime::charge(Duration) {}
 TimerId UdpRuntime::set_timer(Duration delay, std::function<void()> fn) {
   const TimerId id = next_timer_++;
   timers_.push(TimerEntry{now() + delay, id, std::move(fn)});
+  pending_timers_.insert(id);
   wake();
   return id;
 }
 
 void UdpRuntime::cancel_timer(TimerId id) {
-  if (id != kInvalidTimer) cancelled_timers_.push_back(id);
+  if (id == kInvalidTimer) return;
+  // Only remember the cancellation while the entry is still queued; a
+  // cancel after the timer fired (or was already cancelled) is a no-op, so
+  // cancelled_timers_ stays bounded by the live timer count.
+  if (pending_timers_.erase(id) > 0) cancelled_timers_.insert(id);
 }
 
 const sim::CostModel& UdpRuntime::costs() const { return zero_costs(); }
 
-void UdpRuntime::sendto_station(StationId dst, const Buffer& payload) {
+void UdpRuntime::enqueue_tx(StationId dst, BufView payload) {
   if (dst >= stations_.size()) return;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = stations_[dst].ip_be;
-  addr.sin_port = stations_[dst].port_be;
-  const auto sent =
-      ::sendto(fd_, payload.data(), payload.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (sent < 0) {
-    log_warn("udp", "sendto station %u failed: errno=%d", dst, errno);
-  }
+  tx_queue_.push_back(PendingTx{dst, std::move(payload)});
+  wake();
 }
 
-void UdpRuntime::send_unicast(StationId dst, Buffer payload, std::size_t) {
+void UdpRuntime::flush_tx(std::vector<PendingTx>& batch) {
+  std::array<mmsghdr, kIoBatch> msgs;
+  std::array<iovec, kIoBatch> iovs;
+  std::array<sockaddr_in, kIoBatch> addrs;
+  std::size_t done = 0;
+  while (done < batch.size()) {
+    const auto n = static_cast<unsigned>(
+        std::min<std::size_t>(kIoBatch, batch.size() - done));
+    for (unsigned i = 0; i < n; ++i) {
+      const PendingTx& tx = batch[done + i];
+      sockaddr_in& addr = addrs[i];
+      std::memset(&addr, 0, sizeof(addr));
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = stations_[tx.dst].ip_be;
+      addr.sin_port = stations_[tx.dst].port_be;
+      iovs[i].iov_base =
+          const_cast<std::uint8_t*>(tx.payload.data());  // sendmsg ABI
+      iovs[i].iov_len = tx.payload.size();
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_name = &addr;
+      msgs[i].msg_hdr.msg_namelen = sizeof(addr);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    unsigned sent = 0;
+    while (sent < n) {
+      const int rc = ::sendmmsg(fd_, msgs.data() + sent, n - sent, 0);
+      if (rc < 0) {
+        log_warn("udp", "sendmmsg failed: errno=%d", errno);
+        break;
+      }
+      sent += static_cast<unsigned>(rc);
+    }
+    done += n;
+  }
+  batch.clear();
+}
+
+void UdpRuntime::send_unicast(StationId dst, BufView payload, std::size_t) {
   if (dst == self_) {
     // Local short-circuit, still asynchronous like a real loopback.
     post(Duration::zero(), [this, p = std::move(payload)]() mutable {
@@ -143,20 +195,22 @@ void UdpRuntime::send_unicast(StationId dst, Buffer payload, std::size_t) {
     });
     return;
   }
-  sendto_station(dst, payload);
+  enqueue_tx(dst, std::move(payload));
 }
 
-void UdpRuntime::send_multicast(std::uint64_t, Buffer payload, std::size_t) {
+void UdpRuntime::send_multicast(std::uint64_t, BufView payload, std::size_t) {
   // Fan-out unicast to every other station; FLIP semantics say multicast
   // reaches subscribers only, but subscription filtering happens in the
-  // FLIP layer by address match, so over-delivery here is harmless.
+  // FLIP layer by address match, so over-delivery here is harmless. Each
+  // queued frame is a view of the same backing bytes, and the whole
+  // fan-out goes out in one sendmmsg batch.
   for (StationId s = 0; s < stations_.size(); ++s) {
     if (s == self_) continue;
-    sendto_station(s, payload);
+    enqueue_tx(s, payload);
   }
 }
 
-void UdpRuntime::send_broadcast(Buffer payload, std::size_t wire_bytes) {
+void UdpRuntime::send_broadcast(BufView payload, std::size_t wire_bytes) {
   send_multicast(0, std::move(payload), wire_bytes);
 }
 
@@ -164,27 +218,36 @@ void UdpRuntime::subscribe(std::uint64_t) {}
 void UdpRuntime::unsubscribe(std::uint64_t) {}
 
 void UdpRuntime::set_receive_handler(
-    std::function<void(StationId, Buffer)> fn) {
+    std::function<void(StationId, BufView)> fn) {
   std::lock_guard lock(mu_);
   rx_ = std::move(fn);
 }
 
 void UdpRuntime::loop() {
-  std::vector<std::uint8_t> rxbuf(65536);
+  // Receive ring: pooled slots refilled as datagrams are consumed. The
+  // handler keeps a view of the datagram; the slot's backing returns to
+  // the pool when the last view drops.
+  std::array<SharedBuffer, kIoBatch> slots;
+  std::array<mmsghdr, kIoBatch> msgs;
+  std::array<iovec, kIoBatch> iovs;
+  std::array<sockaddr_in, kIoBatch> froms;
+  for (auto& slot : slots) slot = SharedBuffer::allocate(kRxSlotBytes);
+
+  std::vector<PendingTx> tx_batch;
+  // Dispatch scratch: (station, datagram view) per received frame.
+  std::vector<std::pair<StationId, BufView>> rx_batch;
+  rx_batch.reserve(kIoBatch);
+
   while (running_.load()) {
     int timeout_ms = 1000;
     {
       std::unique_lock lock(mu_);
       // Dispatch due timers and queued tasks.
       while (true) {
-        // Purge cancelled timers at the head.
+        // Purge cancelled timers at the head (their ids were erased from
+        // pending_timers_ at cancel time).
         while (!timers_.empty() &&
-               std::find(cancelled_timers_.begin(), cancelled_timers_.end(),
-                         timers_.top().id) != cancelled_timers_.end()) {
-          cancelled_timers_.erase(
-              std::remove(cancelled_timers_.begin(), cancelled_timers_.end(),
-                          timers_.top().id),
-              cancelled_timers_.end());
+               cancelled_timers_.erase(timers_.top().id) > 0) {
           timers_.pop();
         }
         if (!tasks_.empty()) {
@@ -195,6 +258,7 @@ void UdpRuntime::loop() {
         }
         if (!timers_.empty() && timers_.top().at <= now()) {
           auto fn = timers_.top().fn;
+          pending_timers_.erase(timers_.top().id);
           timers_.pop();
           fn();
           continue;
@@ -206,6 +270,13 @@ void UdpRuntime::loop() {
         timeout_ms = static_cast<int>(std::max<std::int64_t>(
             0, std::min<std::int64_t>(wait_ns / 1'000'000 + 1, 1000)));
       }
+      tx_batch.swap(tx_queue_);
+    }
+    // Syscalls happen outside mu_: blocked user threads never wait on the
+    // kernel. The views in tx_batch pin the frame bytes.
+    if (!tx_batch.empty()) {
+      flush_tx(tx_batch);
+      continue;  // tasks may have been posted while unlocked; re-dispatch
     }
 
     pollfd fds[2];
@@ -220,16 +291,44 @@ void UdpRuntime::loop() {
     }
     if (fds[0].revents & POLLIN) {
       while (true) {
-        sockaddr_in from{};
-        socklen_t fromlen = sizeof(from);
-        const auto n = ::recvfrom(fd_, rxbuf.data(), rxbuf.size(), MSG_DONTWAIT,
-                                  reinterpret_cast<sockaddr*>(&from), &fromlen);
-        if (n < 0) break;
-        std::unique_lock lock(mu_);
-        const auto it = by_addr_.find({from.sin_addr.s_addr, from.sin_port});
-        if (it == by_addr_.end() || !rx_) continue;
-        Buffer payload(rxbuf.begin(), rxbuf.begin() + n);
-        rx_(it->second, std::move(payload));
+        for (unsigned i = 0; i < kIoBatch; ++i) {
+          iovs[i].iov_base = slots[i].data();
+          iovs[i].iov_len = slots[i].capacity();
+          std::memset(&msgs[i], 0, sizeof(msgs[i]));
+          msgs[i].msg_hdr.msg_name = &froms[i];
+          msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+          msgs[i].msg_hdr.msg_iov = &iovs[i];
+          msgs[i].msg_hdr.msg_iovlen = 1;
+        }
+        const int got =
+            ::recvmmsg(fd_, msgs.data(), kIoBatch, MSG_DONTWAIT, nullptr);
+        if (got <= 0) break;
+        // Station lookup runs lock-free (the table is immutable after
+        // start); slots with a match become zero-copy views and are
+        // replaced by fresh pooled buffers.
+        rx_batch.clear();
+        for (int i = 0; i < got; ++i) {
+          if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) continue;
+          const sockaddr_in& from = froms[i];
+          const auto it =
+              by_addr_.find({from.sin_addr.s_addr, from.sin_port});
+          if (it == by_addr_.end()) continue;
+          SharedBuffer slot = std::move(slots[i]);
+          slot.resize(msgs[i].msg_len);
+          slots[i] = SharedBuffer::allocate(kRxSlotBytes);
+          rx_batch.emplace_back(it->second, BufView(std::move(slot)));
+        }
+        // One mu_ acquisition dispatches the whole batch.
+        if (!rx_batch.empty()) {
+          std::unique_lock lock(mu_);
+          if (rx_) {
+            for (auto& [station, view] : rx_batch) {
+              rx_(station, std::move(view));
+            }
+          }
+          rx_batch.clear();
+        }
+        if (static_cast<unsigned>(got) < kIoBatch) break;
       }
     }
   }

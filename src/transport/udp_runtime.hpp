@@ -12,6 +12,22 @@
 // threads calling blocking primitives take the same mutex and park on
 // condition variables, which matches Amoeba's blocking-primitives /
 // multithreaded-application model (Section 2).
+//
+// Lock protocol:
+//   - `mu_` serializes all protocol state: tasks_, timers_, rx_ dispatch,
+//     and the tx queue. Handlers run with it held.
+//   - The station table (stations_, by_addr_, self_) is immutable after
+//     start(): set_station_table throws if the loop is running, and the
+//     I/O paths read the table without taking mu_.
+//   - Syscalls (sendmmsg/recvmmsg/poll) happen OUTSIDE mu_, so user
+//     threads parked on blocking primitives never wait behind the kernel.
+//
+// I/O batching: outbound frames queue (as views — no copies) and are
+// flushed with one sendmmsg per batch, so a multicast fan-out of N frames
+// or a pipeline of back-to-back sends costs one syscall, not N. Inbound,
+// recvmmsg drains the socket into a ring of pooled receive buffers and the
+// whole batch is dispatched under a single mu_ acquisition; each handler
+// gets a zero-copy view of its datagram.
 #pragma once
 
 #include <atomic>
@@ -22,6 +38,7 @@
 #include <queue>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "transport/runtime.hpp"
@@ -41,6 +58,8 @@ class UdpRuntime final : public Executor, public Device {
 
   /// Declare the full station table. Entry `self_station` must match this
   /// process's own endpoint; frames to it short-circuit locally.
+  /// Must be called before start(): the table is immutable while the loop
+  /// runs (throws std::logic_error otherwise).
   void set_station_table(StationId self_station,
                          const std::vector<std::pair<std::string, std::uint16_t>>&
                              endpoints);
@@ -65,16 +84,16 @@ class UdpRuntime final : public Executor, public Device {
   StationId station() const override { return self_; }
   std::size_t max_payload() const override { return 1400; }
   Duration tx_cost() const override { return Duration::zero(); }
-  void send_unicast(StationId dst, Buffer payload,
+  void send_unicast(StationId dst, BufView payload,
                     std::size_t wire_bytes) override;
-  void send_multicast(std::uint64_t mcast_key, Buffer payload,
+  void send_multicast(std::uint64_t mcast_key, BufView payload,
                       std::size_t wire_bytes) override;
-  void send_broadcast(Buffer payload, std::size_t wire_bytes) override;
+  void send_broadcast(BufView payload, std::size_t wire_bytes) override;
   void subscribe(std::uint64_t mcast_key) override;
   void unsubscribe(std::uint64_t mcast_key) override;
   void set_promiscuous(bool) override {}  // fan-out delivers everything
   void set_receive_handler(
-      std::function<void(StationId, Buffer)> fn) override;
+      std::function<void(StationId, BufView)> fn) override;
 
  private:
   struct TimerEntry {
@@ -87,9 +106,19 @@ class UdpRuntime final : public Executor, public Device {
     }
   };
 
+  /// One queued outbound datagram: destination + a view of the frame bytes
+  /// (shared with whoever else holds the backing — no copy on enqueue).
+  struct PendingTx {
+    StationId dst;
+    BufView payload;
+  };
+
   void loop();
   void wake();
-  void sendto_station(StationId dst, const Buffer& payload);
+  /// Queue one frame for the next sendmmsg flush. Caller holds mu_.
+  void enqueue_tx(StationId dst, BufView payload);
+  /// Send a swapped-out batch with sendmmsg. Called WITHOUT mu_ held.
+  void flush_tx(std::vector<PendingTx>& batch);
 
   int fd_{-1};
   int wake_pipe_[2]{-1, -1};
@@ -101,6 +130,7 @@ class UdpRuntime final : public Executor, public Device {
   std::atomic<bool> running_{false};
 
   // Station table; index = station id. Stored as resolved sockaddr blobs.
+  // Immutable after start() — read lock-free by the I/O paths.
   struct Endpoint {
     std::uint32_t ip_be{0};
     std::uint16_t port_be{0};
@@ -111,11 +141,18 @@ class UdpRuntime final : public Executor, public Device {
   std::priority_queue<TimerEntry, std::vector<TimerEntry>,
                       std::greater<TimerEntry>>
       timers_;
-  std::vector<TimerId> cancelled_timers_;
+  /// Ids of timers still in timers_ (fired/purged entries are erased, so a
+  /// late cancel of a fired timer is a no-op instead of a leak).
+  std::unordered_set<TimerId> pending_timers_;
+  /// Ids cancelled while still pending; purged when they reach the head of
+  /// timers_. Bounded by the number of live entries in timers_.
+  std::unordered_set<TimerId> cancelled_timers_;
   TimerId next_timer_{1};
   std::queue<std::function<void()>> tasks_;
 
-  std::function<void(StationId, Buffer)> rx_;
+  std::vector<PendingTx> tx_queue_;
+
+  std::function<void(StationId, BufView)> rx_;
   Time epoch_{};
 };
 

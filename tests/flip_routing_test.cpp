@@ -48,8 +48,8 @@ struct Internet : ::testing::Test {
   }
 
   FlipStack::Handler save(std::vector<Buffer>* out) {
-    return [out](Address, Address, Buffer msg) {
-      out->push_back(std::move(msg));
+    return [out](Address, Address, BufView msg) {
+      out->push_back(Buffer(msg.begin(), msg.end()));
     };
   }
 
@@ -122,8 +122,8 @@ TEST_F(Internet, HopCountStopsRunawayPackets) {
   h.src = pa0;
   h.total_len = 4;
   h.hop_count = 0;
-  const Buffer pkt = encode_packet(h, make_pattern_buffer(4));
-  da0.send_unicast(rtr.nic(0).station(), pkt, 116);
+  BufView pkt = encode_packet(h, make_pattern_buffer(4));
+  da0.send_unicast(rtr.nic(0).station(), std::move(pkt), 116);
   run();
   EXPECT_EQ(got_b0.size(), 0u);
   EXPECT_GE(router.stats().hops_exhausted, 1u);
@@ -166,11 +166,11 @@ TEST(InternetChain, ThreeSegmentsTwoRouters) {
   const Address pa = process_address(1);
   const Address pc = process_address(2);
   std::vector<Buffer> got_a, got_c;
-  sa.register_endpoint(pa, [&](Address, Address, Buffer b) {
-    got_a.push_back(std::move(b));
+  sa.register_endpoint(pa, [&](Address, Address, BufView b) {
+    got_a.push_back(Buffer(b.begin(), b.end()));
   });
-  sc.register_endpoint(pc, [&](Address, Address, Buffer b) {
-    got_c.push_back(std::move(b));
+  sc.register_endpoint(pc, [&](Address, Address, BufView b) {
+    got_c.push_back(Buffer(b.begin(), b.end()));
   });
 
   // Unicast across two routers (locate chains through both).
@@ -188,8 +188,8 @@ TEST(InternetChain, ThreeSegmentsTwoRouters) {
   // Multicast floods the whole chain.
   const Address g = group_address(9);
   std::vector<Buffer> gc;
-  sc.join_group(g, [&](Address, Address, Buffer b) {
-    gc.push_back(std::move(b));
+  sc.join_group(g, [&](Address, Address, BufView b) {
+    gc.push_back(Buffer(b.begin(), b.end()));
   });
   sa.send(g, pa, make_pattern_buffer(64));
   engine.run_until(engine.now() + Duration::seconds(5));

@@ -19,8 +19,8 @@ TEST(FlipPacket, HeaderRoundTrip) {
   h.total_len = 100;
   h.frag_offset = 60;
   const Buffer frag = make_pattern_buffer(40);
-  const Buffer pkt = encode_packet(h, frag);
-  auto d = decode_packet(pkt);
+  BufView pkt = encode_packet(h, frag);
+  auto d = decode_packet(std::move(pkt));
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->header.dst, h.dst);
   EXPECT_EQ(d->header.src, h.src);
@@ -33,17 +33,19 @@ TEST(FlipPacket, HeaderRoundTrip) {
 TEST(FlipPacket, CrcRejectsCorruption) {
   PacketHeader h;
   h.total_len = 16;
-  Buffer pkt = encode_packet(h, make_pattern_buffer(16));
+  const BufView enc = encode_packet(h, make_pattern_buffer(16));
+  Buffer pkt(enc.begin(), enc.end());
   pkt[10] ^= 0x40;
-  EXPECT_FALSE(decode_packet(pkt).has_value());
+  EXPECT_FALSE(decode_packet(std::move(pkt)).has_value());
 }
 
 TEST(FlipPacket, RejectsTruncation) {
   PacketHeader h;
   h.total_len = 16;
-  Buffer pkt = encode_packet(h, make_pattern_buffer(16));
+  const BufView enc = encode_packet(h, make_pattern_buffer(16));
+  Buffer pkt(enc.begin(), enc.end());
   pkt.resize(pkt.size() - 1);
-  EXPECT_FALSE(decode_packet(pkt).has_value());
+  EXPECT_FALSE(decode_packet(std::move(pkt)).has_value());
   EXPECT_FALSE(decode_packet(Buffer{1, 2, 3}).has_value());
 }
 
@@ -87,7 +89,10 @@ struct FlipFixture : ::testing::Test {
   }
 
   FlipStack::Handler save(std::vector<Buffer>* out) {
-    return [out](Address, Address, Buffer msg) { out->push_back(std::move(msg)); };
+    // Tests inspect/mutate delivered bytes, so materialize the view.
+    return [out](Address, Address, BufView msg) {
+      out->push_back(Buffer(msg.begin(), msg.end()));
+    };
   }
 
   std::vector<Buffer> got_a, got_b, got_c;

@@ -18,8 +18,8 @@ TEST(GroupWire, DataMessageRoundTrip) {
   m.flags = kFlagTentative;
   m.kind = MessageKind::app;
   m.payload = make_pattern_buffer(333);
-  const Buffer bytes = encode_wire(m);
-  auto d = decode_wire(bytes);
+  BufView bytes = encode_wire(m);
+  auto d = decode_wire(std::move(bytes));
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->type, WireType::seq_data);
   EXPECT_EQ(d->incarnation, 3u);
@@ -35,7 +35,7 @@ TEST(GroupWire, DataMessageRoundTrip) {
 TEST(GroupWire, HeaderAccountsForPapersByteBudget) {
   WireMsg m;
   m.type = WireType::seq_accept;
-  const Buffer bytes = encode_wire(m);
+  const BufView bytes = encode_wire(m);
   // Group (28) + user (32) header bytes; with FLIP (40) and link (16) this
   // makes the paper's 116-byte header budget.
   EXPECT_EQ(bytes.size(),
@@ -65,11 +65,12 @@ TEST(GroupWire, RejectsGarbage) {
   EXPECT_FALSE(decode_wire(Buffer(10, 0xFF)).has_value());
   WireMsg m;
   m.payload = make_pattern_buffer(100);
-  Buffer bytes = encode_wire(m);
+  const BufView enc = encode_wire(m);
+  Buffer bytes(enc.begin(), enc.end());
   bytes.resize(bytes.size() - 20);  // truncated payload
-  EXPECT_FALSE(decode_wire(bytes).has_value());
+  EXPECT_FALSE(decode_wire(std::move(bytes)).has_value());
   Buffer zero(60, 0);  // type 0 is invalid
-  EXPECT_FALSE(decode_wire(zero).has_value());
+  EXPECT_FALSE(decode_wire(std::move(zero)).has_value());
 }
 
 TEST(GroupWire, SnapshotRoundTrip) {

@@ -23,8 +23,8 @@ TEST_P(DecoderFuzz, RandomBytesNeverCrashDecoders) {
     // Each decoder either rejects or produces a self-consistent value;
     // the assertions are "no crash / no UB", checked by running at all
     // (and under sanitizers when enabled).
-    (void)flip::decode_packet(bytes);
-    (void)group::decode_wire(bytes);
+    (void)flip::decode_packet(BufView::copy_of(bytes));
+    (void)group::decode_wire(BufView::copy_of(bytes));
     (void)group::decode_snapshot(bytes);
     (void)group::decode_vote(bytes);
     (void)group::decode_membership_change(bytes);
@@ -39,11 +39,11 @@ TEST_P(DecoderFuzz, TruncationsOfValidPacketsRejectOrRoundTrip) {
   m.seq = 1234;
   m.sender = 3;
   m.payload = make_pattern_buffer(200);
-  const Buffer valid = group::encode_wire(m);
+  const BufView valid = group::encode_wire(m);
   // Every prefix must be handled gracefully.
   for (std::size_t len = 0; len <= valid.size(); ++len) {
     Buffer prefix(valid.begin(), valid.begin() + static_cast<long>(len));
-    const auto decoded = group::decode_wire(prefix);
+    const auto decoded = group::decode_wire(std::move(prefix));
     if (len == valid.size()) {
       ASSERT_TRUE(decoded.has_value());
       EXPECT_EQ(decoded->seq, 1234u);
@@ -57,12 +57,12 @@ TEST_P(DecoderFuzz, TruncationsOfValidPacketsRejectOrRoundTrip) {
   h.type = flip::PacketType::unidata;
   h.dst = flip::process_address(1);
   h.total_len = 64;
-  const Buffer pkt = flip::encode_packet(h, make_pattern_buffer(64));
+  const BufView pkt = flip::encode_packet(h, make_pattern_buffer(64));
   for (int i = 0; i < 200; ++i) {
-    Buffer corrupted = pkt;
+    Buffer corrupted(pkt.begin(), pkt.end());
     corrupted[rng.below(corrupted.size())] ^=
         static_cast<std::uint8_t>(1 + rng.below(255));
-    EXPECT_FALSE(flip::decode_packet(corrupted).has_value());
+    EXPECT_FALSE(flip::decode_packet(std::move(corrupted)).has_value());
   }
 }
 
@@ -85,8 +85,9 @@ TEST(Robustness, GroupSurvivesGarbageInjectedAtMembers) {
     sim::Frame f;
     f.dst = sim::kBroadcastStation;
     f.wire_bytes = 100;
-    f.payload.resize(rng.below(150));
-    for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.next());
+    Buffer junk(rng.below(150));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    f.payload = std::move(junk);
     h.world().node(0).nic().send(std::move(f));
     h.world().node(0).set_timer(Duration::micros(500), *inject);
   };

@@ -47,8 +47,8 @@ TEST(SimDevice, UnicastBetweenDevices) {
   sim::World w(2);
   SimExecutor ea(w.node(0)), eb(w.node(1));
   SimDevice da(w.node(0)), db(w.node(1));
-  std::optional<std::pair<StationId, Buffer>> got;
-  db.set_receive_handler([&](StationId from, Buffer b) {
+  std::optional<std::pair<StationId, BufView>> got;
+  db.set_receive_handler([&](StationId from, BufView b) {
     got = {from, std::move(b)};
   });
   ea.post(da.tx_cost(), [&] {
@@ -64,8 +64,8 @@ TEST(SimDevice, MulticastFiltering) {
   sim::World w(3);
   SimDevice da(w.node(0)), db(w.node(1)), dc(w.node(2));
   int got_b = 0, got_c = 0;
-  db.set_receive_handler([&](StationId, Buffer) { ++got_b; });
-  dc.set_receive_handler([&](StationId, Buffer) { ++got_c; });
+  db.set_receive_handler([&](StationId, BufView) { ++got_b; });
+  dc.set_receive_handler([&](StationId, BufView) { ++got_c; });
   db.subscribe(0x99);
   da.send_multicast(0x99, make_pattern_buffer(10), 126);
   w.engine().run();
@@ -152,8 +152,8 @@ TEST(UdpRuntime, SelfSendShortCircuits) {
   rt.set_station_table(0, {{"127.0.0.1", rt.local_port()}});
   std::mutex mu;
   std::condition_variable cv;
-  std::optional<Buffer> got;
-  rt.set_receive_handler([&](StationId from, Buffer b) {
+  std::optional<BufView> got;
+  rt.set_receive_handler([&](StationId from, BufView b) {
     EXPECT_EQ(from, 0u);
     std::lock_guard g(mu);
     got = std::move(b);
@@ -184,7 +184,7 @@ TEST(UdpRuntime, FanOutMulticastReachesAllPeers) {
   std::mutex mu;
   std::condition_variable cv;
   int got = 0;
-  const auto handler = [&](StationId, Buffer) {
+  const auto handler = [&](StationId, BufView) {
     std::lock_guard g(mu);
     ++got;
     cv.notify_all();
@@ -206,6 +206,19 @@ TEST(UdpRuntime, FanOutMulticastReachesAllPeers) {
   c.stop();
 }
 
+TEST(UdpRuntime, StationTableImmutableAfterStart) {
+  UdpRuntime rt(0);
+  rt.set_station_table(0, {{"127.0.0.1", rt.local_port()}});
+  rt.start();
+  // The I/O loop reads the table without locking, so reconfiguration while
+  // running is a documented error, not a race.
+  EXPECT_THROW(rt.set_station_table(0, {{"127.0.0.1", rt.local_port()}}),
+               std::logic_error);
+  rt.stop();
+  // Stopped again: reconfiguration is allowed.
+  rt.set_station_table(0, {{"127.0.0.1", rt.local_port()}});
+}
+
 TEST(UdpRuntime, UnknownSourceIgnored) {
   UdpRuntime a(0), stranger(0);
   a.set_station_table(0, {{"127.0.0.1", a.local_port()}});
@@ -213,7 +226,7 @@ TEST(UdpRuntime, UnknownSourceIgnored) {
   // stranger's endpoint: its packets must be dropped on arrival.
   stranger.set_station_table(1, {{"127.0.0.1", a.local_port()}});
   int got = 0;
-  a.set_receive_handler([&](StationId, Buffer) { ++got; });
+  a.set_receive_handler([&](StationId, BufView) { ++got; });
   a.start();
   stranger.start();
   {
