@@ -64,16 +64,24 @@ int main() {
 
   // Phase 1: registrations trickle in via different servers.
   int completed = 0;
-  const auto do_register = [&](std::size_t via, const std::string& name,
-                               std::uint64_t cap) {
-    net.process(via).user_send(encode_reg(name, cap), [&, name](Status s) {
-      if (s == Status::ok) {
-        ++completed;
-        std::printf("  registered %-12s (accepted, 2-crash safe)\n",
-                    name.c_str());
-      }
-    });
-  };
+  std::function<void(std::size_t, const std::string&, std::uint64_t)>
+      do_register = [&](std::size_t via, const std::string& name,
+                        std::uint64_t cap) {
+        net.process(via).user_send(
+            encode_reg(name, cap), [&, via, name, cap](Status s) {
+              if (s == Status::ok) {
+                ++completed;
+                std::printf("  registered %-12s (accepted, 2-crash safe)\n",
+                            name.c_str());
+              } else if (s == Status::retry_exhausted) {
+                // Budget ran out but the group survived; registration is
+                // idempotent (last write wins on one name), so re-issue.
+                std::printf("  %-12s retry budget exhausted; re-issuing\n",
+                            name.c_str());
+                do_register(via, name, cap);
+              }
+            });
+      };
   do_register(3, "fs/root", 0x1001);
   do_register(4, "fs/home", 0x1002);
   do_register(2, "printer/laser", 0x2001);

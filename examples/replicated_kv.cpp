@@ -77,13 +77,28 @@ int main() {
               "crash). Applying updates through the ordered broadcast...\n\n");
 
   int pending = 0;
-  const auto update = [&](std::size_t via, char op, const std::string& k,
-                          const std::string& v) {
-    ++pending;
-    net.process(via).user_send(encode_op(op, k, v), [&](Status s) {
-      if (s == Status::ok) --pending;
-    });
-  };
+  std::function<void(std::size_t, char, const std::string&, const std::string&)>
+      update = [&](std::size_t via, char op, const std::string& k,
+                   const std::string& v) {
+        ++pending;
+        net.process(via).user_send(
+            encode_op(op, k, v), [&, via, op, k, v](Status s) {
+              if (s == Status::ok) {
+                --pending;
+              } else if (s == Status::retry_exhausted) {
+                // The group is alive but OUR update kept losing (congestion,
+                // sustained loss). Ambiguous like any at-most-once timeout —
+                // but retrying a Set/Delete is idempotent here, so just
+                // re-issue it; total order makes the outcome identical.
+                std::printf("update '%s' exhausted its retry budget; "
+                            "re-issuing\n", k.c_str());
+                --pending;
+                update(via, op, k, v);
+              }
+              // Status::timeout (group failed) is handled below via
+              // ResetGroup.
+            });
+      };
 
   // Concurrent updates from different replicas — total order arbitrates.
   update(0, 'S', "alice", "amsterdam");

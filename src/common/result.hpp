@@ -37,6 +37,11 @@ enum class Status : int {
   aborted,
   /// Invalid argument from the caller.
   invalid_argument,
+  /// The per-operation retry budget ran out while the group stayed alive
+  /// (congestion / sustained loss). The operation MAY still take effect —
+  /// like `timeout`, this is an at-most-once ambiguity — but the group
+  /// itself has not failed: retrying the call is safe and ordered.
+  retry_exhausted,
 };
 
 /// Human-readable name for a status code (stable, for logs and tests).
@@ -53,6 +58,7 @@ constexpr std::string_view to_string(Status s) noexcept {
     case Status::bad_message: return "bad_message";
     case Status::aborted: return "aborted";
     case Status::invalid_argument: return "invalid_argument";
+    case Status::retry_exhausted: return "retry_exhausted";
   }
   return "unknown";
 }

@@ -1,0 +1,45 @@
+// Deterministic exponential backoff with jitter.
+//
+// Every retry timer in the group protocol (send, NACK, join, leave) used
+// to re-fire on a fixed cadence; under sustained loss or a dead sequencer
+// that is a synchronized retry herd hammering a wire that is already
+// misbehaving. Delays here grow geometrically per attempt up to a cap,
+// with a multiplicative jitter that is a pure hash of (salt, attempt) —
+// no RNG object, no global state — so a simulated run replays
+// byte-identically from its seed while real members with distinct ids
+// still spread out.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace amoeba::group {
+
+/// Delay before retry number `attempt` (1-based: attempt 1 waits ~base).
+/// `jitter` is the ± fraction applied multiplicatively (0 = none).
+inline Duration backoff_delay(Duration base, int attempt, double factor,
+                              Duration cap, double jitter,
+                              std::uint64_t salt) noexcept {
+  double d = static_cast<double>(base.ns < 0 ? 0 : base.ns);
+  const double cap_ns = static_cast<double>(cap.ns);
+  for (int i = 1; i < attempt && d < cap_ns; ++i) d *= factor;
+  d = std::min(d, cap_ns);
+  if (jitter > 0.0) {
+    // SplitMix64 finalizer over (salt, attempt) -> uniform in [0, 1).
+    std::uint64_t x =
+        salt ^ (static_cast<std::uint64_t>(static_cast<unsigned>(attempt)) *
+                0x9E3779B97F4A7C15ULL);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+    d *= 1.0 + jitter * (2.0 * u - 1.0);
+  }
+  return Duration{static_cast<std::int64_t>(d)};
+}
+
+}  // namespace amoeba::group

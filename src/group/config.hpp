@@ -39,6 +39,8 @@ struct GroupConfig {
   std::size_t max_message = 64 * 1024;
 
   // --- Sender retransmission ---------------------------------------------
+  /// Base delay before the first retransmission; subsequent retries back
+  /// off exponentially (see the backoff block below).
   Duration send_retry = Duration::millis(100);
   int send_retries = 5;
   /// EXTENSION (the Section 5 "nonblocking primitives" discussion): how
@@ -57,6 +59,28 @@ struct GroupConfig {
   // --- Join -----------------------------------------------------------------
   Duration join_retry = Duration::millis(100);
   int join_retries = 10;
+
+  // --- Retry backoff (EXTENSION: live-path hardening) ----------------------
+  // The send/NACK/join/leave retry timers grow `base * factor^(attempt-1)`
+  // up to the per-timer cap, with a deterministic ±`backoff_jitter`
+  // multiplicative spread (hash of member id and attempt — replayable in
+  // the simulator, desynchronized on real sockets). factor = 1 restores
+  // the paper's fixed cadence.
+  double backoff_factor = 2.0;
+  double backoff_jitter = 0.25;
+  Duration send_backoff_cap = Duration::seconds(1);
+  /// NACKs cap lower: a receiver with a gap must keep asking briskly or
+  /// delivery latency for everything behind the gap balloons.
+  Duration nack_backoff_cap = Duration::millis(200);
+  Duration join_backoff_cap = Duration::seconds(1);
+  /// Total wall/virtual-time budget for one SendToGroup. When the group is
+  /// making progress but OUR message keeps losing (congestion, unlucky
+  /// loss), the send completes with Status::retry_exhausted once the
+  /// budget elapses instead of retrying forever — bounded degradation,
+  /// surfaced through the blocking API as a typed error. zero = unbounded
+  /// (the seed's behavior). A dead sequencer still fails the whole group
+  /// with Status::timeout via the per-attempt budget above.
+  Duration send_budget = Duration::seconds(60);
 
   // --- History trimming / failure detection --------------------------------
   /// Members proactively report their delivery horizon this often even

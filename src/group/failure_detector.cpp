@@ -10,6 +10,14 @@ void FailureDetector::suspect(MemberId member) {
   arm();
 }
 
+void FailureDetector::drop(MemberId member) {
+  if (suspects_.erase(member) == 0) return;
+  if (suspects_.empty()) {
+    exec_.cancel_timer(timer_);
+    timer_ = transport::kInvalidTimer;
+  }
+}
+
 void FailureDetector::reset() {
   suspects_.clear();
   exec_.cancel_timer(timer_);
@@ -23,14 +31,21 @@ void FailureDetector::arm() {
 
 void FailureDetector::tick() {
   timer_ = transport::kInvalidTimer;
-  // Collect the dead first: declare_dead may re-enter (an expel can
-  // change the view and call back into forget/clear).
+  // Snapshot the suspect set first: both callbacks may re-enter (a probe
+  // can complete synchronously in the simulator and clear() another
+  // suspect; an expel can change the view and call back into forget).
+  // Mutating suspects_ while range-iterating it would be UB.
+  std::vector<MemberId> round;
+  round.reserve(suspects_.size());
+  for (const auto& [member, trials] : suspects_) round.push_back(member);
   std::vector<MemberId> dead;
-  for (auto& [member, trials] : suspects_) {
-    if (trials >= max_trials_) {
+  for (const MemberId member : round) {
+    const auto it = suspects_.find(member);
+    if (it == suspects_.end()) continue;  // cleared by an earlier probe
+    if (it->second >= max_trials_) {
       dead.push_back(member);
     } else {
-      ++trials;
+      ++it->second;
       if (cbs_.probe) cbs_.probe(member);
     }
   }

@@ -50,11 +50,14 @@ class FailureDetector {
   /// the poll cadence until cleared or declared dead.
   void suspect(MemberId member);
 
-  /// Evidence of life: stop suspecting.
-  void clear(MemberId member) { suspects_.erase(member); }
+  /// Evidence of life: stop suspecting. Cancels the probe timer when the
+  /// last suspect is cleared — otherwise a stale in-flight tick survives
+  /// and a re-suspicion inherits it, burning a trial almost immediately
+  /// (truncated first interval, double-armed cadence).
+  void clear(MemberId member) { drop(member); }
 
   /// The member left the view; it is nobody's suspect anymore.
-  void forget(MemberId member) { suspects_.erase(member); }
+  void forget(MemberId member) { drop(member); }
 
   /// Drop all suspicion (view change, losing the sequencer role).
   void reset();
@@ -71,6 +74,7 @@ class FailureDetector {
  private:
   void tick();
   void arm();
+  void drop(MemberId member);
 
   transport::Executor& exec_;
   Callbacks cbs_;

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "common/logging.hpp"
+#include "group/backoff.hpp"
 
 namespace amoeba::group {
 
@@ -114,13 +115,18 @@ void GroupMember::on_join_timer() {
     if (done) done(Status::timeout);
     return;
   }
+  if (join_attempts_ > 1) ++stats_.join_retries_fired;
   WireMsg m;
   m.type = WireType::join_req;
   m.addr = my_addr_;
   // Reaches the sequencer via the group's multicast address; we are not a
   // member yet, so we cannot unicast (we know nobody).
   flip_.send(gaddr_, my_addr_, encode_wire(m));
-  join_timer_ = exec_.set_timer(cfg_.join_retry, [this] { on_join_timer(); });
+  join_timer_ = exec_.set_timer(
+      backoff_delay(cfg_.join_retry, join_attempts_, cfg_.backoff_factor,
+                    cfg_.join_backoff_cap, cfg_.backoff_jitter,
+                    my_addr_.id ^ 0x6A6F696EULL),
+      [this] { on_join_timer(); });
 }
 
 void GroupMember::finish_join(const Snapshot& snap) {
@@ -173,18 +179,26 @@ void GroupMember::leave_group(StatusCb done) {
     m.sender = my_id_;
     m.piggyback = next_deliver_;
     send_to_sequencer(std::move(m));
-    // Re-request with the send-retry cadence until our leave is ordered.
+    // Re-request with send-retry backoff until our leave is ordered.
+    auto attempts = std::make_shared<int>(1);
     auto retry = std::make_shared<std::function<void()>>();
-    *retry = [this, retry] {
+    const auto delay = [this, attempts] {
+      return backoff_delay(cfg_.send_retry, *attempts, cfg_.backoff_factor,
+                           cfg_.send_backoff_cap, cfg_.backoff_jitter,
+                           (static_cast<std::uint64_t>(my_id_) << 8) ^
+                               0x6C656176ULL);
+    };
+    *retry = [this, retry, attempts, delay] {
       if (!leaving_ || state_ != State::running || i_am_sequencer()) return;
+      ++*attempts;
       WireMsg m2;
       m2.type = WireType::leave_req;
       m2.sender = my_id_;
       m2.piggyback = next_deliver_;
       send_to_sequencer(std::move(m2));
-      join_timer_ = exec_.set_timer(cfg_.send_retry, *retry);
+      join_timer_ = exec_.set_timer(delay(), *retry);
     };
-    join_timer_ = exec_.set_timer(cfg_.send_retry, *retry);
+    join_timer_ = exec_.set_timer(delay(), *retry);
   }
 }
 
@@ -486,6 +500,8 @@ void GroupMember::fill_pipeline() {
     o.done = std::move(done);
     o.via_bb = use_bb(o.data.size());
     o.deliver_mark = next_deliver_;
+    o.deadline = cfg_.send_budget.ns > 0 ? exec_.now() + cfg_.send_budget
+                                         : Time::infinity();
     // Sender-side copy: user buffer into the kernel.
     const auto& costs = exec_.costs();
     exec_.charge(costs.copy_time(o.data.size(), costs.sender_copies));
@@ -536,16 +552,14 @@ void GroupMember::transmit_entry(Outgoing& o) {
       send_to_sequencer(std::move(m));
     }
   }
-  // Deterministic per-member jitter (0.75x..1.5x) so that many senders
-  // whose requests were dropped together (sequencer ring overflow) do not
-  // retry as a synchronized herd and overflow it again.
+  // Exponential backoff with deterministic per-(member, message) jitter so
+  // that many senders whose requests were dropped together (sequencer ring
+  // overflow) do not retry as a synchronized herd and overflow it again.
   const std::uint64_t salt =
-      (static_cast<std::uint64_t>(my_id_) * 2654435761ULL +
-       static_cast<std::uint64_t>(static_cast<unsigned>(o.attempts)) *
-           40503ULL) %
-      4;
-  const Duration retry{cfg_.send_retry.ns *
-                       (3 + static_cast<std::int64_t>(salt)) / 4};
+      (static_cast<std::uint64_t>(my_id_) << 32) ^ o.msg_id;
+  const Duration retry =
+      backoff_delay(cfg_.send_retry, o.attempts + 1, cfg_.backoff_factor,
+                    cfg_.send_backoff_cap, cfg_.backoff_jitter, salt);
   exec_.cancel_timer(o.timer);
   o.timer = exec_.set_timer(
       retry, [this, msg_id = o.msg_id] { on_send_timer(msg_id); });
@@ -562,12 +576,28 @@ void GroupMember::on_send_timer(std::uint32_t msg_id) {
   if (state_ != State::running) return;
   Outgoing* o = find_outgoing(msg_id);
   if (o == nullptr) return;
+  ++stats_.send_retries_fired;
+  if (o->deadline != Time::infinity() && !(exec_.now() < o->deadline)) {
+    // Per-send budget exhausted. If the group is alive (deliveries keep
+    // arriving), fail only this call with a typed, retry-safe error rather
+    // than declaring the whole group dead. Abandoning the entry is safe:
+    // the sequencer fast-forwards its per-sender window to our next
+    // range_from, so a successor send is not stuck behind this one.
+    ++stats_.send_budget_exhausted;
+    if (seq_gt(next_deliver_, o->deliver_mark)) {
+      complete_entry(msg_id, Status::retry_exhausted);
+    } else {
+      enter_failed(Status::timeout);
+    }
+    return;
+  }
   if (++o->attempts > cfg_.send_retries) {
     if (seq_gt(next_deliver_, o->deliver_mark)) {
       // The group IS progressing — the sequencer is alive but swamped
       // (our requests drown in its receive ring or history). That is
       // congestion, not failure: keep retrying. "The protocol continues
       // working, but the performance drops" (Section 4).
+      ++stats_.congestion_resets;
       o->deliver_mark = next_deliver_;
       o->attempts = 1;
     } else {
@@ -804,8 +834,15 @@ void GroupMember::fire_nack() {
   m.range_from = from;
   m.range_count = count;
   ++stats_.nacks_sent;
+  if (nack_attempts_ > 1) ++stats_.nack_retries_fired;
   send_to_sequencer(std::move(m));
-  nack_timer_ = exec_.set_timer(cfg_.nack_retry, [this] { fire_nack(); });
+  // Back off while the gap persists (capped low: everything behind the gap
+  // waits on this timer), desynchronized across members by id.
+  const Duration retry = backoff_delay(
+      cfg_.nack_retry, nack_attempts_, cfg_.backoff_factor,
+      cfg_.nack_backoff_cap, cfg_.backoff_jitter,
+      (static_cast<std::uint64_t>(my_id_) << 8) ^ 0x6E61636BULL);
+  nack_timer_ = exec_.set_timer(retry, [this] { fire_nack(); });
 }
 
 void GroupMember::start_status_timer() {

@@ -54,6 +54,13 @@ struct GroupStats {
   std::uint64_t expels_issued{0};
   std::uint64_t resets_started{0};
   std::uint64_t resets_completed{0};
+  // Recovery-under-adversity observability: every retry the live path
+  // takes, and every time a budget ran out, is countable.
+  std::uint64_t send_retries_fired{0};  // send retry timer fired
+  std::uint64_t nack_retries_fired{0};  // NACK re-asked after a silence
+  std::uint64_t join_retries_fired{0};  // join_req re-broadcast
+  std::uint64_t congestion_resets{0};   // retry counter reset: group alive
+  std::uint64_t send_budget_exhausted{0};  // send failed retry_exhausted
 };
 
 class GroupMember {
@@ -284,6 +291,9 @@ class GroupMember {
     /// Delivery horizon when the retry counter last reset: congestion
     /// (group still progressing) must not be mistaken for sequencer death.
     SeqNum deliver_mark{0};
+    /// Absolute give-up time (cfg.send_budget past admission); infinity
+    /// when the budget is disabled.
+    Time deadline{Time::infinity()};
     transport::TimerId timer{transport::kInvalidTimer};
   };
   /// In-flight sends, FIFO by msg_id (size <= cfg_.max_outstanding).

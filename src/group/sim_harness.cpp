@@ -2,8 +2,10 @@
 
 namespace amoeba::group {
 
-SimProcess::SimProcess(sim::Node& node, flip::Address addr, GroupConfig cfg)
-    : node_(node), exec_(node), dev_(node), flip_(exec_, dev_) {
+SimProcess::SimProcess(sim::Node& node, flip::Address addr, GroupConfig cfg,
+                       std::uint64_t fault_seed)
+    : node_(node), exec_(node), dev_(node), faults_(dev_, exec_, fault_seed),
+      flip_(exec_, faults_) {
   member_ = std::make_unique<GroupMember>(
       flip_, exec_, addr, cfg,
       GroupMember::Callbacks{
@@ -50,17 +52,20 @@ void SimProcess::user_send(Buffer data, GroupMember::StatusCb done) {
 SimGroupHarness::SimGroupHarness(std::size_t n_processes, GroupConfig cfg,
                                  sim::CostModel model, std::uint64_t seed)
     : cfg_(cfg), world_(n_processes, model, seed),
-      gaddr_(flip::group_address(0x6702)) {
+      gaddr_(flip::group_address(0x6702)), seed_(seed) {
   for (std::size_t i = 0; i < n_processes; ++i) {
+    // Distinct fault stream per station, all derived from the one seed.
     procs_.push_back(std::make_unique<SimProcess>(
-        world_.node(i), flip::process_address(next_addr_++), cfg_));
+        world_.node(i), flip::process_address(next_addr_++), cfg_,
+        seed_ ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
   }
 }
 
 SimProcess& SimGroupHarness::add_process() {
   sim::Node& node = world_.add_node();
   procs_.push_back(std::make_unique<SimProcess>(
-      node, flip::process_address(next_addr_++), cfg_));
+      node, flip::process_address(next_addr_++), cfg_,
+      seed_ ^ (0x9E3779B97F4A7C15ULL * (procs_.size() + 1))));
   return *procs_.back();
 }
 

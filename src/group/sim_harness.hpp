@@ -15,6 +15,7 @@
 #include "group/config.hpp"
 #include "group/member.hpp"
 #include "sim/world.hpp"
+#include "transport/fault.hpp"
 #include "transport/sim_runtime.hpp"
 
 namespace amoeba::group {
@@ -22,12 +23,16 @@ namespace amoeba::group {
 /// One simulated process: node + stack + member + user-level model.
 class SimProcess {
  public:
-  SimProcess(sim::Node& node, flip::Address addr, GroupConfig cfg);
+  SimProcess(sim::Node& node, flip::Address addr, GroupConfig cfg,
+             std::uint64_t fault_seed = 1);
 
   sim::Node& node() { return node_; }
   transport::SimExecutor& exec() { return exec_; }
   flip::FlipStack& flip() { return flip_; }
   GroupMember& member() { return *member_; }
+  /// The fault interposer between the FLIP stack and the simulated NIC.
+  /// Inactive (single-branch passthrough) until given a plan or schedule.
+  transport::FaultDevice& faults() { return faults_; }
 
   /// User-level SendToGroup: charges the syscall cost (U1), then runs the
   /// protocol send; `done` fires when the send completes.
@@ -53,6 +58,7 @@ class SimProcess {
   sim::Node& node_;
   transport::SimExecutor exec_;
   transport::SimDevice dev_;
+  transport::FaultDevice faults_;
   flip::FlipStack flip_;
   std::unique_ptr<GroupMember> member_;
 
@@ -94,6 +100,7 @@ class SimGroupHarness {
   flip::Address gaddr_;
   std::vector<std::unique_ptr<SimProcess>> procs_;
   std::uint64_t next_addr_{1};
+  std::uint64_t seed_{1};
 };
 
 }  // namespace amoeba::group

@@ -1,0 +1,209 @@
+#include "transport/fault.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amoeba::transport {
+
+FaultDevice::FaultDevice(Device& inner, Executor& exec, std::uint64_t seed)
+    : inner_(inner), exec_(exec), rng_(seed) {}
+
+FaultDevice::~FaultDevice() {
+  for (const TimerId id : delay_timers_) exec_.cancel_timer(id);
+}
+
+void FaultDevice::set_plan(const FaultPlan& plan) {
+  plan_ = plan;
+  recompute_active();
+}
+
+void FaultDevice::set_schedule(std::vector<NemesisEvent> schedule) {
+  assert(std::is_sorted(
+      schedule.begin(), schedule.end(),
+      [](const NemesisEvent& a, const NemesisEvent& b) { return a.at < b.at; }));
+  schedule_ = std::move(schedule);
+  next_event_ = 0;
+  nemesis_armed_ = false;
+  recompute_active();
+}
+
+void FaultDevice::start_nemesis() {
+  t0_ = exec_.now();
+  next_event_ = 0;
+  nemesis_armed_ = !schedule_.empty();
+  recompute_active();
+  advance_nemesis();  // apply any epoch scheduled at t=0 right away
+}
+
+void FaultDevice::crash() {
+  crashed_ = true;
+  recompute_active();
+}
+
+void FaultDevice::revive() {
+  crashed_ = false;
+  recompute_active();
+}
+
+void FaultDevice::recompute_active() {
+  active_ = plan_.any() || crashed_ || !cuts_.empty() ||
+            (nemesis_armed_ && next_event_ < schedule_.size());
+}
+
+void FaultDevice::advance_nemesis() {
+  if (!nemesis_armed_ || next_event_ >= schedule_.size()) return;
+  const Duration elapsed = exec_.now() - t0_;
+  while (next_event_ < schedule_.size() &&
+         schedule_[next_event_].at <= elapsed) {
+    apply(schedule_[next_event_]);
+    ++next_event_;
+    ++stats_.nemesis_applied;
+  }
+  recompute_active();
+}
+
+void FaultDevice::apply(const NemesisEvent& e) {
+  switch (e.kind) {
+    case NemesisEvent::Kind::set_plan:
+      plan_ = e.plan;
+      break;
+    case NemesisEvent::Kind::partition: {
+      cuts_.clear();
+      for (std::size_t a = 0; a < e.islands.size(); ++a) {
+        for (std::size_t b = 0; b < e.islands.size(); ++b) {
+          if (a == b) continue;
+          for (const StationId sa : e.islands[a]) {
+            for (const StationId sb : e.islands[b]) {
+              cuts_.insert({sa, sb});
+            }
+          }
+        }
+      }
+      for (const auto& cut : e.cuts) cuts_.insert(cut);
+      break;
+    }
+    case NemesisEvent::Kind::heal:
+      cuts_.clear();
+      break;
+    case NemesisEvent::Kind::crash:
+      if (e.station == station()) crashed_ = true;
+      break;
+    case NemesisEvent::Kind::revive:
+      if (e.station == station()) crashed_ = false;
+      break;
+  }
+}
+
+Duration FaultDevice::delay_sample() {
+  const std::int64_t lo = plan_.delay_min.ns;
+  const std::int64_t hi = std::max(lo, plan_.delay_max.ns);
+  return Duration{rng_.range(lo, hi)};
+}
+
+void FaultDevice::send_unicast(StationId dst, BufView payload,
+                               std::size_t wire_bytes) {
+  if (active_) {
+    advance_nemesis();
+    ++stats_.frames_tx;
+    if (crashed_) {
+      ++stats_.crash_tx_drops;
+      return;
+    }
+    if (is_cut(station(), dst)) {
+      ++stats_.partition_drops;
+      return;
+    }
+  }
+  inner_.send_unicast(dst, std::move(payload), wire_bytes);
+}
+
+void FaultDevice::send_multicast(std::uint64_t mcast_key, BufView payload,
+                                 std::size_t wire_bytes) {
+  if (active_) {
+    advance_nemesis();
+    ++stats_.frames_tx;
+    if (crashed_) {
+      ++stats_.crash_tx_drops;
+      return;
+    }
+    // Per-destination cuts are enforced on the receive side (a multicast
+    // is one frame here; the sink's own FaultDevice filters it).
+  }
+  inner_.send_multicast(mcast_key, std::move(payload), wire_bytes);
+}
+
+void FaultDevice::send_broadcast(BufView payload, std::size_t wire_bytes) {
+  if (active_) {
+    advance_nemesis();
+    ++stats_.frames_tx;
+    if (crashed_) {
+      ++stats_.crash_tx_drops;
+      return;
+    }
+  }
+  inner_.send_broadcast(std::move(payload), wire_bytes);
+}
+
+void FaultDevice::set_receive_handler(
+    std::function<void(StationId, BufView)> fn) {
+  rx_ = std::move(fn);
+  inner_.set_receive_handler(
+      [this](StationId src, BufView payload) { on_rx(src, std::move(payload)); });
+}
+
+void FaultDevice::on_rx(StationId src, BufView payload) {
+  if (!active_) {
+    if (rx_) rx_(src, std::move(payload));
+    return;
+  }
+  advance_nemesis();
+  ++stats_.frames_rx;
+  if (crashed_) {
+    ++stats_.crash_rx_drops;
+    return;
+  }
+  if (is_cut(src, station())) {
+    ++stats_.partition_drops;
+    return;
+  }
+  if (plan_.drop > 0.0 && rng_.chance(plan_.drop)) {
+    ++stats_.drops;
+    return;
+  }
+  if (plan_.corrupt > 0.0 && rng_.chance(plan_.corrupt) && payload.size() > 0) {
+    // Garble a private copy — the backing may be shared with the sender's
+    // queue or a fan-out sibling.
+    SharedBuffer copy = SharedBuffer::copy_of({payload.data(), payload.size()});
+    const std::size_t pos = rng_.below(copy.size());
+    copy.data()[pos] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+    payload = BufView(std::move(copy));
+    ++stats_.corruptions;
+  }
+  const bool dup = plan_.duplicate > 0.0 && rng_.chance(plan_.duplicate);
+  if (plan_.delay > 0.0 && rng_.chance(plan_.delay)) {
+    ++stats_.delays;
+    schedule_delayed(src, payload);  // later frames overtake it
+  } else {
+    if (rx_) rx_(src, payload);
+  }
+  if (dup) {
+    ++stats_.duplicates;
+    if (rx_) rx_(src, std::move(payload));
+  }
+}
+
+void FaultDevice::schedule_delayed(StationId src, BufView payload) {
+  // Hold the frame back for a sampled interval; frames behind it are
+  // delivered meanwhile, producing genuine reordering. The timer id is
+  // remembered so destruction cancels in-flight deliveries.
+  auto id_box = std::make_shared<TimerId>(kInvalidTimer);
+  const TimerId id = exec_.set_timer(
+      delay_sample(), [this, id_box, src, p = std::move(payload)]() mutable {
+        delay_timers_.erase(*id_box);
+        if (!crashed_ && rx_) rx_(src, std::move(p));
+      });
+  *id_box = id;
+  delay_timers_.insert(id);
+}
+
+}  // namespace amoeba::transport

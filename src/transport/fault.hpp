@@ -1,0 +1,229 @@
+// Deterministic transport-level fault injection at the Device/Executor seam.
+//
+// The paper's retrospective (Section 5) calls failure detection and group
+// rebuilding "the hardest parts of the system to get correct" — and those
+// paths only ever run when the wire misbehaves. `FaultDevice` wraps ANY
+// `Device` (the simulated Lance or the real-socket UdpRuntime) and injects
+// frame drop, duplication, delay/reordering, payload corruption, scripted
+// asymmetric partitions, and station crashes, all drawn from an explicitly
+// seeded RNG so every run replays from its seed. `JitterExecutor` does the
+// same for time: it perturbs timer delays so that protocol timers across
+// members never fire in lockstep.
+//
+// Fault model (mirrors sim::EthernetSegment's per-receiver noise):
+//   - Stochastic faults (drop / duplicate / corrupt / delay) are applied on
+//     the RECEIVE side, independently per receiving station — the same
+//     frame of a multicast fan-out can be lost at one member and garbled
+//     at another, like real per-NIC noise.
+//   - Partitions and crashes filter BOTH sides: a crashed station neither
+//     sends nor receives; a cut (src -> dst) pair drops outbound unicasts
+//     at the source and everything (multicast included) at the sink.
+//   - Corruption garbles a private copy of the payload, never the shared
+//     backing (fan-out siblings keep their clean bytes); the FLIP packet
+//     CRC then rejects the frame, exercising the decode-reject path.
+//
+// The nemesis schedule is a replayable timeline of fault epochs:
+//
+//   at t=50ms  partition {A,B} | {C}
+//   at t=200ms heal
+//   at t=300ms crash station 0
+//
+// expressed as a sorted vector of `NemesisEvent`s relative to
+// `start_nemesis()`. Every station's FaultDevice is given the same
+// schedule; each applies the events that concern it (partitions concern
+// everyone, a crash only its own station). Epochs advance lazily on frame
+// activity — no hidden timers — which keeps replay byte-deterministic on
+// the simulator.
+//
+// Zero-cost when idle: with no plan, no schedule, no cuts and no crash,
+// every path is a single branch plus the forwarded virtual call.
+//
+// Threading: all state is touched only from the runtime's serialized
+// context (send_* and the receive handler run there by the Device lock
+// protocol), so the class needs no lock of its own. Read `fault_stats()`
+// from that context too (tests: under the runtime mutex, or after stop()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "transport/runtime.hpp"
+
+namespace amoeba::transport {
+
+/// Stochastic per-frame fault probabilities, applied on delivery.
+struct FaultPlan {
+  double drop{0.0};       // frame silently lost
+  double duplicate{0.0};  // frame delivered twice
+  double corrupt{0.0};    // one payload byte flipped (CRC catches it)
+  double delay{0.0};      // frame held back, letting later frames overtake
+  Duration delay_min{Duration::micros(200)};
+  Duration delay_max{Duration::millis(5)};
+
+  bool any() const {
+    return drop > 0.0 || duplicate > 0.0 || corrupt > 0.0 || delay > 0.0;
+  }
+};
+
+/// One epoch boundary in a nemesis schedule.
+struct NemesisEvent {
+  enum class Kind : std::uint8_t {
+    set_plan,   // replace the stochastic fault plan
+    partition,  // install cuts from `islands` + `cuts` (replaces current)
+    heal,       // drop every cut
+    crash,      // station `station` goes dark (tx and rx)
+    revive,     // it comes back
+  };
+
+  Duration at{};  // offset from start_nemesis()
+  Kind kind{Kind::set_plan};
+  FaultPlan plan{};
+  /// Stations grouped into islands; traffic BETWEEN islands is cut both
+  /// ways. Stations not listed keep full connectivity.
+  std::vector<std::vector<StationId>> islands;
+  /// Extra one-way cuts (asymmetric partitions): frames from->to are lost.
+  std::vector<std::pair<StationId, StationId>> cuts;
+  StationId station{kBroadcastStation};
+};
+
+/// Everything the interposer did, queryable per station.
+struct FaultStats {
+  std::uint64_t frames_tx{0};  // send_* calls inspected while active
+  std::uint64_t frames_rx{0};  // inbound frames inspected while active
+  std::uint64_t drops{0};
+  std::uint64_t duplicates{0};
+  std::uint64_t corruptions{0};
+  std::uint64_t delays{0};
+  std::uint64_t partition_drops{0};  // cut by the current partition
+  std::uint64_t crash_tx_drops{0};
+  std::uint64_t crash_rx_drops{0};
+  std::uint64_t nemesis_applied{0};  // schedule events reached
+
+  std::uint64_t injected() const {
+    return drops + duplicates + corruptions + delays + partition_drops +
+           crash_tx_drops + crash_rx_drops;
+  }
+  bool operator==(const FaultStats&) const = default;
+};
+
+class FaultDevice final : public Device {
+ public:
+  /// Wraps `inner`; `exec` supplies time (nemesis epochs) and timers
+  /// (delayed delivery). `seed` drives every stochastic decision; give each
+  /// station a distinct seed (e.g. base ^ station) for independent noise.
+  FaultDevice(Device& inner, Executor& exec, std::uint64_t seed = 1);
+  ~FaultDevice() override;
+  FaultDevice(const FaultDevice&) = delete;
+  FaultDevice& operator=(const FaultDevice&) = delete;
+
+  /// Install the stochastic plan (effective immediately).
+  void set_plan(const FaultPlan& plan);
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Reseed the fault stream (tests replaying a scenario).
+  void set_seed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  /// Install a schedule (must be sorted by `at`; asserted). Epochs start
+  /// counting when start_nemesis() is called.
+  void set_schedule(std::vector<NemesisEvent> schedule);
+  void start_nemesis();
+  bool nemesis_exhausted() const {
+    return next_event_ >= schedule_.size();
+  }
+
+  /// Direct switches (tests that script faults imperatively).
+  void crash();
+  void revive();
+  bool crashed() const { return crashed_; }
+
+  const FaultStats& fault_stats() const { return stats_; }
+
+  // --- Device ---------------------------------------------------------------
+  StationId station() const override { return inner_.station(); }
+  std::size_t max_payload() const override { return inner_.max_payload(); }
+  Duration tx_cost() const override { return inner_.tx_cost(); }
+  void send_unicast(StationId dst, BufView payload,
+                    std::size_t wire_bytes) override;
+  void send_multicast(std::uint64_t mcast_key, BufView payload,
+                      std::size_t wire_bytes) override;
+  void send_broadcast(BufView payload, std::size_t wire_bytes) override;
+  void subscribe(std::uint64_t mcast_key) override {
+    inner_.subscribe(mcast_key);
+  }
+  void unsubscribe(std::uint64_t mcast_key) override {
+    inner_.unsubscribe(mcast_key);
+  }
+  void set_promiscuous(bool on) override { inner_.set_promiscuous(on); }
+  void set_receive_handler(
+      std::function<void(StationId, BufView)> fn) override;
+
+ private:
+  void on_rx(StationId src, BufView payload);
+  void schedule_delayed(StationId src, BufView payload);
+  /// Advance the nemesis state machine to the current time.
+  void advance_nemesis();
+  void apply(const NemesisEvent& e);
+  bool is_cut(StationId from, StationId to) const {
+    return cuts_.count({from, to}) > 0;
+  }
+  void recompute_active();
+  Duration delay_sample();
+
+  Device& inner_;
+  Executor& exec_;
+  Rng rng_;
+  FaultPlan plan_;
+  FaultStats stats_;
+
+  /// Single gate for the idle fast path.
+  bool active_{false};
+  bool crashed_{false};
+  std::set<std::pair<StationId, StationId>> cuts_;  // directional
+
+  std::vector<NemesisEvent> schedule_;
+  std::size_t next_event_{0};
+  bool nemesis_armed_{false};
+  Time t0_{};
+
+  std::function<void(StationId, BufView)> rx_;
+  /// Delay timers still in flight; cancelled on destruction so a delayed
+  /// frame never fires into a dead device.
+  std::set<TimerId> delay_timers_;
+};
+
+/// Executor wrapper that perturbs every timer delay by a seeded ±`jitter`
+/// fraction — protocol timers across members stop firing in lockstep,
+/// which is how retry herds and accidental synchronization get flushed
+/// out. now()/post()/charge() pass through untouched.
+class JitterExecutor final : public Executor {
+ public:
+  JitterExecutor(Executor& inner, std::uint64_t seed, double jitter = 0.1)
+      : inner_(inner), rng_(seed), jitter_(jitter) {}
+
+  Time now() const override { return inner_.now(); }
+  void post(Duration cpu_cost, std::function<void()> fn) override {
+    inner_.post(cpu_cost, std::move(fn));
+  }
+  void charge(Duration cpu_cost) override { inner_.charge(cpu_cost); }
+  TimerId set_timer(Duration delay, std::function<void()> fn) override {
+    if (jitter_ > 0.0 && delay.ns > 0) {
+      const double f = 1.0 + jitter_ * (2.0 * rng_.uniform() - 1.0);
+      delay.ns = std::max<std::int64_t>(
+          0, static_cast<std::int64_t>(static_cast<double>(delay.ns) * f));
+    }
+    return inner_.set_timer(delay, std::move(fn));
+  }
+  void cancel_timer(TimerId id) override { inner_.cancel_timer(id); }
+  const sim::CostModel& costs() const override { return inner_.costs(); }
+
+ private:
+  Executor& inner_;
+  Rng rng_;
+  double jitter_;
+};
+
+}  // namespace amoeba::transport

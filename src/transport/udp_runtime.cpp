@@ -37,6 +37,13 @@ const sim::CostModel& zero_costs() {
 /// Datagrams per sendmmsg/recvmmsg syscall. 32 covers the full multicast
 /// fan-out of a sizeable group plus a pipeline of back-to-back sends.
 constexpr unsigned kIoBatch = 32;
+/// Transmit-path error budget: after a soft failure (EAGAIN/ENOBUFS) the
+/// unsent tail is retried immediately this many times, then behind a
+/// poll-for-writable of `kTxPollMs` each, before the tail is dropped and
+/// left to the protocol's retransmission machinery.
+constexpr int kTxSoftSpins = 8;
+constexpr int kTxPolls = 16;
+constexpr int kTxPollMs = 10;
 /// Pooled receive-slot size: max_payload (1400) + FLIP header + CRC with
 /// headroom; matches a pool size class so slots recycle via the freelist.
 constexpr std::size_t kRxSlotBytes = 2048;
@@ -173,14 +180,47 @@ void UdpRuntime::flush_tx(std::vector<PendingTx>& batch) {
       msgs[i].msg_hdr.msg_iov = &iovs[i];
       msgs[i].msg_hdr.msg_iovlen = 1;
     }
+    // Send the batch, retrying the unsent tail. A partial sendmmsg return
+    // or a soft errno must NOT discard the remainder: these frames carry
+    // live protocol traffic, and dropping them here turns one transient
+    // kernel-buffer hiccup into a retransmission storm one RTT later.
     unsigned sent = 0;
+    int spins = 0;
+    int polls = 0;
     while (sent < n) {
       const int rc = ::sendmmsg(fd_, msgs.data() + sent, n - sent, 0);
-      if (rc < 0) {
-        log_warn("udp", "sendmmsg failed: errno=%d", errno);
-        break;
+      if (rc > 0) {
+        sent += static_cast<unsigned>(rc);
+        io_stats_.tx_datagrams.fetch_add(static_cast<std::uint64_t>(rc),
+                                         std::memory_order_relaxed);
+        io_stats_.tx_batches.fetch_add(1, std::memory_order_relaxed);
+        spins = 0;
+        continue;
       }
-      sent += static_cast<unsigned>(rc);
+      if (rc < 0 && errno == EINTR) {
+        io_stats_.tx_eintr.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                     errno == ENOBUFS)) {
+        io_stats_.tx_soft_errors.fetch_add(1, std::memory_order_relaxed);
+        if (++spins <= kTxSoftSpins) continue;
+        if (++polls <= kTxPolls && running_.load()) {
+          // Kernel buffers full: wait for writability instead of burning
+          // the CPU, then take another run at the tail.
+          pollfd pfd{fd_, POLLOUT, 0};
+          ::poll(&pfd, 1, kTxPollMs);
+          io_stats_.tx_pollouts.fetch_add(1, std::memory_order_relaxed);
+          spins = 0;
+          continue;
+        }
+      }
+      // Hard error, or the soft-error budget ran out (or we are shutting
+      // down): count and drop the tail; NACK/retry recovers the loss.
+      io_stats_.tx_dropped.fetch_add(n - sent, std::memory_order_relaxed);
+      log_warn("udp", "sendmmsg gave up: errno=%d, dropped=%u", errno,
+               n - sent);
+      break;
     }
     done += n;
   }
@@ -302,17 +342,29 @@ void UdpRuntime::loop() {
         }
         const int got =
             ::recvmmsg(fd_, msgs.data(), kIoBatch, MSG_DONTWAIT, nullptr);
+        if (got < 0 && errno == EINTR) {
+          // A signal mid-drain must not abandon the readable socket.
+          io_stats_.rx_eintr.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         if (got <= 0) break;
         // Station lookup runs lock-free (the table is immutable after
         // start); slots with a match become zero-copy views and are
         // replaced by fresh pooled buffers.
         rx_batch.clear();
-        for (int i = 0; i < got; ++i) {
-          if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) continue;
+        for (std::size_t i = 0; i < static_cast<std::size_t>(got); ++i) {
+          io_stats_.rx_datagrams.fetch_add(1, std::memory_order_relaxed);
+          if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+            io_stats_.rx_truncated.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
           const sockaddr_in& from = froms[i];
           const auto it =
               by_addr_.find({from.sin_addr.s_addr, from.sin_port});
-          if (it == by_addr_.end()) continue;
+          if (it == by_addr_.end()) {
+            io_stats_.rx_unknown_peer.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
           SharedBuffer slot = std::move(slots[i]);
           slot.resize(msgs[i].msg_len);
           slots[i] = SharedBuffer::allocate(kRxSlotBytes);

@@ -45,6 +45,21 @@
 
 namespace amoeba::transport {
 
+/// I/O-path counters. Written by the loop thread (and whoever flushes),
+/// read from anywhere: relaxed atomics, monotonic, never reset.
+struct UdpIoStats {
+  std::atomic<std::uint64_t> tx_datagrams{0};   // handed to the kernel
+  std::atomic<std::uint64_t> tx_batches{0};     // sendmmsg calls that sent
+  std::atomic<std::uint64_t> tx_eintr{0};       // sendmmsg EINTR retries
+  std::atomic<std::uint64_t> tx_soft_errors{0};  // EAGAIN/ENOBUFS seen
+  std::atomic<std::uint64_t> tx_pollouts{0};    // waits for writability
+  std::atomic<std::uint64_t> tx_dropped{0};     // gave up on these frames
+  std::atomic<std::uint64_t> rx_datagrams{0};
+  std::atomic<std::uint64_t> rx_eintr{0};
+  std::atomic<std::uint64_t> rx_truncated{0};   // frame bigger than a slot
+  std::atomic<std::uint64_t> rx_unknown_peer{0};
+};
+
 class UdpRuntime final : public Executor, public Device {
  public:
   /// Bind a UDP socket on 127.0.0.1:`port` (port 0 = ephemeral).
@@ -71,6 +86,9 @@ class UdpRuntime final : public Executor, public Device {
   /// The runtime mutex. Blocking user-level wrappers hold it around state
   /// machine calls and park on condition variables tied to it.
   std::mutex& mutex() { return mu_; }
+
+  /// Transport-level fault/recovery observability.
+  const UdpIoStats& io_stats() const { return io_stats_; }
 
   // --- Executor -----------------------------------------------------------
   Time now() const override;
@@ -154,6 +172,7 @@ class UdpRuntime final : public Executor, public Device {
 
   std::function<void(StationId, BufView)> rx_;
   Time epoch_{};
+  UdpIoStats io_stats_;
 };
 
 }  // namespace amoeba::transport

@@ -68,6 +68,48 @@ TEST_F(DetectorFixture, ReSuspicionStartsAFreshBudget) {
   EXPECT_EQ(deaths.size(), 1u);
 }
 
+TEST_F(DetectorFixture, ClearCancelsProbeTimerBeforeReSuspicion) {
+  // Regression: clear() used to leave the shared probe timer armed. A
+  // re-suspicion then inherited the stale tick — its second probe landed
+  // after a truncated interval and a trial burned almost immediately,
+  // shrinking the effective budget.
+  fd.suspect(7);
+  run(Duration::millis(5));  // mid-interval: the tick is in flight
+  fd.clear(7);               // last suspect gone -> timer must be cancelled
+  fd.suspect(7);             // fresh suspicion, fresh cadence
+  probes.clear();
+  run(Duration::millis(9));
+  EXPECT_TRUE(probes.empty())
+      << "no probe before a full interval elapses from re-suspicion";
+  run(Duration::millis(2));
+  EXPECT_EQ(probes.size(), 1u) << "second probe exactly one interval later";
+  run(Duration::millis(100));
+  EXPECT_EQ(deaths.size(), 1u) << "full budget still ends in a verdict";
+}
+
+TEST_F(DetectorFixture, ProbeCallbackMayClearAnotherSuspect) {
+  // A probe can complete synchronously (simulator loopback) and clear a
+  // different suspect while tick() is walking the set; the detector must
+  // not trip over its own iteration.
+  std::vector<MemberId> order;
+  std::function<void(MemberId)> on_probe;  // late-bound: captures fd2
+  FailureDetector fd2{exec,
+                      FailureDetector::Callbacks{
+                          .probe = [&](MemberId m) { on_probe(m); },
+                          .declare_dead = [&](MemberId m) { order.push_back(m); },
+                      }};
+  on_probe = [&](MemberId m) {
+    if (m == 1) fd2.clear(2);  // probing 1 proves 2 alive, say
+  };
+  fd2.configure(Duration::millis(10), 2);
+  fd2.suspect(1);
+  fd2.suspect(2);
+  run(Duration::millis(100));
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 1u) << "only the unanswered suspect dies";
+  EXPECT_FALSE(fd2.suspecting(2));
+}
+
 TEST_F(DetectorFixture, MultipleSuspectsProbeIndependently) {
   fd.suspect(1);
   run(Duration::millis(11));  // suspect 1 already has 2 probes
