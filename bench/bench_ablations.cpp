@@ -27,6 +27,7 @@ double bursty_delay_us(bool migrate, int bursts, int burst_len) {
   group::GroupConfig cfg;
   cfg.method = group::Method::pb;
   group::SimGroupHarness h(6, cfg);
+  h.set_tracing(false);
   if (!h.form_group()) return -1;
 
   // The bursty process is member 3 (remote from sequencer 0).
@@ -99,6 +100,7 @@ double delay_with_model(const sim::CostModel& model) {
   group::GroupConfig cfg;
   cfg.method = group::Method::pb;
   group::SimGroupHarness h(2, cfg, model);
+  h.set_tracing(false);
   if (!h.form_group()) return -1;
   Histogram hist;
   int done = 0;
@@ -126,6 +128,7 @@ double throughput_with_model(const sim::CostModel& model) {
   group::GroupConfig cfg;
   cfg.method = group::Method::pb;
   group::SimGroupHarness h(8, cfg, model);
+  h.set_tracing(false);
   if (!h.form_group()) return -1;
   for (std::size_t p = 0; p < 8; ++p) h.process(p).set_keep_payloads(false);
   std::uint64_t completed = 0;
@@ -196,6 +199,7 @@ int main() {
     group::GroupConfig pcfg;
     pcfg.max_outstanding = w;
     group::SimGroupHarness h(4, pcfg);
+    h.set_tracing(false);
     if (!h.form_group()) continue;
     int done = 0, issued = 0;
     constexpr int kTotal = 300;

@@ -120,6 +120,7 @@ int main() {
     group::GroupConfig cfg;
     cfg.method = group::Method::pb;
     group::SimGroupHarness h(n, cfg);
+    h.set_tracing(false);
     if (!h.form_group()) continue;
     std::uint64_t completed = 0;
     auto loop = std::make_shared<std::function<void()>>();

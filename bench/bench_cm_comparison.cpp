@@ -117,6 +117,7 @@ AmoebaRun run_amoeba(std::size_t members, int broadcasts) {
   group::GroupConfig cfg;
   cfg.method = group::Method::pb;
   group::SimGroupHarness h(members, cfg);
+  h.set_tracing(false);
   AmoebaRun out;
   if (!h.form_group()) return out;
 

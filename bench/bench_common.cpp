@@ -19,6 +19,7 @@ DelayResult measure_delay(std::size_t members, std::size_t bytes,
   cfg.method = method;
   cfg.resilience = resilience;
   SimGroupHarness h(members, cfg, sim::CostModel::mc68030_ether10(), seed);
+  h.set_tracing(false);  // measurement runs: no event rings, no drains
   DelayResult out;
   if (!h.form_group()) return out;
 
@@ -62,6 +63,7 @@ ThroughputResult measure_throughput(std::size_t members, std::size_t bytes,
   cfg.resilience = resilience;
   if (history_size != 0) cfg.history_size = history_size;
   SimGroupHarness h(members, cfg, sim::CostModel::mc68030_ether10(), seed);
+  h.set_tracing(false);  // measurement runs: no event rings, no drains
   ThroughputResult out;
   if (!h.form_group()) return out;
   for (std::size_t p = 0; p < members; ++p) {

@@ -16,6 +16,7 @@ ThroughputResult run(std::size_t senders, std::size_t bytes, bool fc) {
   cfg.method = group::Method::pb;
   cfg.flow_control = fc;
   group::SimGroupHarness h(senders, cfg);
+  h.set_tracing(false);
   ThroughputResult out;
   if (!h.form_group()) return out;
   for (std::size_t p = 0; p < senders; ++p) {

@@ -29,6 +29,7 @@ LossyRun run(double loss, std::uint64_t seed) {
   // Delay, 8 members, single sender.
   {
     group::SimGroupHarness h(8, cfg, sim::CostModel::mc68030_ether10(), seed);
+    h.set_tracing(false);
     if (!h.form_group()) return out;
     h.world().segment().set_fault_plan(sim::FaultPlan{.loss_prob = loss});
     Histogram hist;
@@ -58,6 +59,7 @@ LossyRun run(double loss, std::uint64_t seed) {
   {
     group::SimGroupHarness h(8, cfg, sim::CostModel::mc68030_ether10(),
                              seed + 1);
+    h.set_tracing(false);
     if (!h.form_group()) return out;
     h.world().segment().set_fault_plan(sim::FaultPlan{.loss_prob = loss});
     for (std::size_t p = 0; p < 8; ++p) h.process(p).set_keep_payloads(false);

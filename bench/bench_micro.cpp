@@ -104,6 +104,7 @@ void BM_SimulatedBroadcast(benchmark::State& state) {
   group::GroupConfig cfg;
   cfg.method = group::Method::pb;
   group::SimGroupHarness h(static_cast<size_t>(state.range(0)), cfg);
+  h.set_tracing(false);
   if (!h.form_group()) {
     state.SkipWithError("form_group failed");
     return;

@@ -1,0 +1,152 @@
+#include "check/collector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace amoeba::check {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::send: return "send";
+    case EventKind::send_done: return "send_done";
+    case EventKind::stamp: return "stamp";
+    case EventKind::tentative: return "tentative";
+    case EventKind::accept: return "accept";
+    case EventKind::deliver: return "deliver";
+    case EventKind::nack: return "nack";
+    case EventKind::retransmit: return "retransmit";
+    case EventKind::view: return "view";
+    case EventKind::reset_start: return "reset_start";
+    case EventKind::reset_done: return "reset_done";
+    case EventKind::fail: return "fail";
+  }
+  return "?";
+}
+
+namespace {
+const char* kind_name(group::MessageKind k) {
+  switch (k) {
+    case group::MessageKind::app: return "app";
+    case group::MessageKind::join: return "join";
+    case group::MessageKind::leave: return "leave";
+    case group::MessageKind::expel: return "expel";
+    case group::MessageKind::handoff: return "handoff";
+  }
+  return "?";
+}
+
+int as_int(group::MemberId id) {
+  return id == group::kInvalidMember ? -1 : static_cast<int>(id);
+}
+}  // namespace
+
+std::string describe(const TraceEvent& e) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%12.3fms m%-2d %-11s inc=%u seq=%u peer=%d msg=%u %s%s"
+                " a=0x%llx",
+                e.at.to_millis(), as_int(e.member), to_string(e.kind), e.inc,
+                e.seq, as_int(e.peer), e.msg_id, kind_name(e.mkind),
+                e.flags != 0 ? " f" : "",
+                static_cast<unsigned long long>(e.a));
+  return buf;
+}
+
+void TraceCollector::attach(std::string label, TraceRing* ring) {
+  rings_.push_back(RingTrace{std::move(label), ring, {}});
+}
+
+void TraceCollector::detach_all() {
+  for (RingTrace& r : rings_) r.ring = nullptr;
+}
+
+void TraceCollector::detach(const std::string& label) {
+  for (RingTrace& r : rings_) {
+    if (r.label == label && r.ring != nullptr) {
+      r.ring->drain(r.events);  // final pull before the ring goes away
+      r.ring = nullptr;
+    }
+  }
+}
+
+void TraceCollector::drain() {
+  for (RingTrace& r : rings_) {
+    if (r.ring != nullptr) r.ring->drain(r.events);
+  }
+}
+
+void TraceCollector::clear() {
+  for (RingTrace& r : rings_) r.events.clear();
+}
+
+std::size_t TraceCollector::total_events() const {
+  std::size_t n = 0;
+  for (const RingTrace& r : rings_) n += r.events.size();
+  return n;
+}
+
+std::uint64_t TraceCollector::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const RingTrace& r : rings_) {
+    if (r.ring != nullptr) n += r.ring->dropped();
+  }
+  return n;
+}
+
+std::string TraceCollector::dump_text(std::size_t max_events) const {
+  // Merge by timestamp; ties keep ring order (member id) so one member's
+  // events never reorder against each other.
+  std::vector<const TraceEvent*> all;
+  all.reserve(total_events());
+  for (const RingTrace& r : rings_) {
+    for (const TraceEvent& e : r.events) all.push_back(&e);
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->at < b->at;
+                   });
+  std::size_t first = 0;
+  if (max_events != 0 && all.size() > max_events) {
+    first = all.size() - max_events;
+  }
+  std::string out;
+  out.reserve((all.size() - first) * 96 + 128);
+  if (first > 0) {
+    out += "... (" + std::to_string(first) + " earlier events elided)\n";
+  }
+  for (std::size_t i = first; i < all.size(); ++i) {
+    out += describe(*all[i]);
+    out += '\n';
+  }
+  const std::uint64_t dropped = total_dropped();
+  if (dropped > 0) {
+    out += "!! " + std::to_string(dropped) +
+           " events lost to ring overflow (history incomplete)\n";
+  }
+  return out;
+}
+
+std::string TraceCollector::dump_json() const {
+  std::string out = "[";
+  bool first = true;
+  char buf[256];
+  for (const RingTrace& r : rings_) {
+    for (const TraceEvent& e : r.events) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\n{\"t_ns\":%lld,\"ring\":\"%s\",\"kind\":\"%s\",\"member\":%d,"
+          "\"inc\":%u,\"mkind\":\"%s\",\"flags\":%u,\"peer\":%d,\"seq\":%u,"
+          "\"msg_id\":%u,\"a\":%llu}",
+          first ? "" : ",", static_cast<long long>(e.at.ns), r.label.c_str(),
+          to_string(e.kind), as_int(e.member), e.inc, kind_name(e.mkind),
+          e.flags, as_int(e.peer), e.seq, e.msg_id,
+          static_cast<unsigned long long>(e.a));
+      out += buf;
+      first = false;
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace amoeba::check

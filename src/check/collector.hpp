@@ -1,0 +1,55 @@
+// Global trace collector: drains per-member TraceRings into one place and
+// renders the interleaved history of a run (text for humans, JSON for
+// tooling). The ConformanceOracle consumes the same storage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/trace.hpp"
+
+namespace amoeba::check {
+
+/// One member's drained history, labeled for reports ("m0", "m1", ...).
+struct RingTrace {
+  std::string label;
+  TraceRing* ring{nullptr};  // null for synthetic traces (oracle tests)
+  std::vector<TraceEvent> events;
+};
+
+class TraceCollector {
+ public:
+  /// Register a ring. The collector does not own it; it must outlive the
+  /// collector (or be detached first).
+  void attach(std::string label, TraceRing* ring);
+  void detach_all();
+  /// Final-drain and release just the ring(s) labeled `label` (collected
+  /// events stay on file). Use before destroying one member's ring while
+  /// the others keep collecting.
+  void detach(const std::string& label);
+
+  /// Pull everything pending from every attached ring. Cheap when idle;
+  /// call it often (the sim harness drains on every run_until step).
+  void drain();
+
+  /// Drop all collected events (rings stay attached).
+  void clear();
+
+  const std::vector<RingTrace>& rings() const { return rings_; }
+  std::size_t total_events() const;
+  /// Events lost to ring overflow across all rings. Non-zero means the
+  /// collected history has holes and oracle verdicts may be unsound.
+  std::uint64_t total_dropped() const;
+
+  /// The interleaved history, merged across members by timestamp. At most
+  /// `max_events` lines (0 = all), keeping the tail (failures live there).
+  std::string dump_text(std::size_t max_events = 0) const;
+  /// The same history as a JSON array of event objects.
+  std::string dump_json() const;
+
+ private:
+  std::vector<RingTrace> rings_;
+};
+
+}  // namespace amoeba::check

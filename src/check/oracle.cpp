@@ -1,0 +1,320 @@
+#include "check/oracle.hpp"
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace amoeba::check {
+namespace {
+
+std::uint64_t pack(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+std::string where(const RingTrace& r, const TraceEvent& e) {
+  return r.label + ": " + describe(e);
+}
+
+/// What a (incarnation, seq) slot resolved to at some member.
+struct DeliveryId {
+  group::MemberId sender;
+  std::uint32_t msg_id;
+  group::MessageKind mkind;
+  std::uint64_t fp;
+  bool operator==(const DeliveryId&) const = default;
+};
+
+struct StampRec {
+  group::MemberId sender;
+  std::uint32_t msg_id;
+  std::uint64_t fp;
+  std::string at;
+};
+
+struct ViewRec {
+  std::uint64_t hash;
+  std::uint32_t count;
+  std::string at;
+};
+
+class Checker {
+ public:
+  Checker(const std::vector<RingTrace>& rings, const OracleOptions& opts)
+      : rings_(rings), opts_(opts),
+        durable_labels_(opts.durable_rings.begin(),
+                        opts.durable_rings.end()) {}
+
+  Verdict run() {
+    collect_stamps_and_views();
+    for (const RingTrace& r : rings_) {
+      if (full()) break;
+      scan(r);
+    }
+    check_durability();
+    return std::move(verdict_);
+  }
+
+ private:
+  bool add(const char* invariant, std::string detail) {
+    if (verdict_.violations.size() >= opts_.max_violations) {
+      verdict_.truncated = true;
+      return false;
+    }
+    verdict_.violations.push_back(Violation{invariant, std::move(detail)});
+    return true;
+  }
+  bool full() const { return verdict_.truncated; }
+
+  // Pass 1: stamps and views are recorded at whichever member holds the
+  // role, so they must all be on file before any ring's deliveries are
+  // judged against them.
+  void collect_stamps_and_views() {
+    for (const RingTrace& r : rings_) {
+      for (const TraceEvent& e : r.events) {
+        if (full()) return;
+        if (e.kind == EventKind::stamp && opts_.check_stamps) {
+          const auto key = pack(e.inc, e.seq);
+          auto [it, inserted] = stamp_at_.try_emplace(
+              key, StampRec{e.peer, e.msg_id, e.a, where(r, e)});
+          if (!inserted) {
+            const StampRec& prev = it->second;
+            if (prev.sender != e.peer || prev.msg_id != e.msg_id ||
+                prev.fp != e.a) {
+              add("stamps", "two different messages stamped as inc=" +
+                                std::to_string(e.inc) + " seq=" +
+                                std::to_string(e.seq) + ":\n    " + prev.at +
+                                "\n    " + where(r, e));
+            }
+          }
+          stamp_content_[{e.seq, e.peer, e.msg_id}].insert(e.a);
+        } else if (e.kind == EventKind::view && opts_.check_view_sync) {
+          // Normal views are identified by their stream position; recovery
+          // views by (incarnation, new sequencer) — a recovery result is a
+          // claim about the whole incarnation, and keying by coordinator
+          // catches two coordinators publishing different memberships for
+          // the same incarnation.
+          auto& table = e.flags != 0 ? views_recovery_ : views_normal_;
+          const auto key =
+              e.flags != 0 ? pack(e.inc, e.peer) : pack(e.inc, e.seq);
+          auto [it, inserted] =
+              table.try_emplace(key, ViewRec{e.a, e.msg_id, where(r, e)});
+          if (!inserted) {
+            const ViewRec& prev = it->second;
+            if (prev.hash != e.a || prev.count != e.msg_id) {
+              add("view-sync",
+                  "members disagree on the view at inc=" +
+                      std::to_string(e.inc) +
+                      (e.flags != 0 ? " (recovery)" : " seq=" +
+                                                          std::to_string(e.seq)) +
+                      ":\n    " + prev.at + "\n    " + where(r, e));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 2: everything judged in one member's event order.
+  void scan(const RingTrace& r) {
+    // Accepts are keyed by seq alone: after a ResetGroup, entries that were
+    // already final keep their old-incarnation accept, and a seq is never
+    // re-delivered within one member (gap-free covers that), so the looser
+    // key cannot mask a deliver-before-accept.
+    std::unordered_set<SeqNum> accepted;
+    std::set<SeqNum> marks;  // view positions: legal delivery (re)starts
+    bool have_prev = false;
+    SeqNum expected = opts_.first_seq;
+    std::unordered_map<group::MemberId, std::uint32_t> last_app;
+    std::unordered_set<std::uint32_t> self_delivered;
+    auto& durable = delivered_by_ring_[r.label];
+
+    for (const TraceEvent& e : r.events) {
+      if (full()) return;
+      switch (e.kind) {
+        case EventKind::accept:
+          accepted.insert(e.seq);
+          break;
+        case EventKind::view:
+          marks.insert(e.seq);
+          break;
+        case EventKind::send_done:
+          if (opts_.check_validity && e.flags != 0 &&
+              self_delivered.count(e.msg_id) == 0) {
+            add("validity",
+                where(r, e) + " reported ok but msg=" +
+                    std::to_string(e.msg_id) + " was never delivered here");
+          }
+          // An ok completion anchors the paper's r-resilience promise: once
+          // SendToGroup returns ok, r crashes cannot lose the message, so
+          // every durable ring must end up holding it — wherever the
+          // sender's own ring ranks.
+          if (e.flags != 0) {
+            delivered_anywhere_.try_emplace(pack(e.member, e.msg_id),
+                                            where(r, e));
+          }
+          break;
+        case EventKind::deliver:
+          check_delivery(r, e, accepted, marks, have_prev, expected, last_app,
+                         self_delivered, durable);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void check_delivery(const RingTrace& r, const TraceEvent& e,
+                      const std::unordered_set<SeqNum>& accepted,
+                      const std::set<SeqNum>& marks, bool& have_prev,
+                      SeqNum& expected,
+                      std::unordered_map<group::MemberId, std::uint32_t>&
+                          last_app,
+                      std::unordered_set<std::uint32_t>& self_delivered,
+                      std::unordered_set<std::uint64_t>& durable) {
+    if (opts_.check_accept_before_deliver && accepted.count(e.seq) == 0) {
+      add("accept-before-deliver",
+          where(r, e) + " delivered without a prior accept");
+    }
+
+    if (opts_.check_gap_free) {
+      if (!have_prev) {
+        if (e.seq != opts_.first_seq && marks.count(e.seq) == 0) {
+          add("gap-free", where(r, e) + " first delivery is neither first_seq=" +
+                              std::to_string(opts_.first_seq) +
+                              " nor a view position");
+        }
+        have_prev = true;
+        expected = e.seq + 1;
+      } else if (e.seq == expected) {
+        ++expected;
+      } else if (marks.count(e.seq) != 0) {
+        expected = e.seq + 1;  // join / recovery restart at a view position
+      } else {
+        add("gap-free", where(r, e) + " expected seq " +
+                            std::to_string(expected) + " next");
+        expected = e.seq + 1;  // resync so one gap reports once
+      }
+    }
+
+    if (opts_.check_agreement) {
+      const auto key = pack(e.inc, e.seq);
+      const DeliveryId id{e.peer, e.msg_id, e.mkind, e.a};
+      auto [it, inserted] =
+          agreement_.try_emplace(key, std::pair{id, where(r, e)});
+      if (!inserted && !(it->second.first == id)) {
+        add("agreement", "two members delivered different messages as inc=" +
+                             std::to_string(e.inc) + " seq=" +
+                             std::to_string(e.seq) + ":\n    " +
+                             it->second.second + "\n    " + where(r, e));
+      }
+    }
+
+    if (opts_.check_stamps) {
+      auto it = stamp_content_.find({e.seq, e.peer, e.msg_id});
+      if (it == stamp_content_.end()) {
+        add("stamps", where(r, e) + " delivered but never stamped");
+      } else if (it->second.count(e.a) == 0) {
+        add("stamps",
+            where(r, e) + " payload differs from what the sequencer stamped");
+      }
+    }
+
+    if (e.mkind == group::MessageKind::app) {
+      if (opts_.check_fifo) {
+        auto [it, inserted] = last_app.try_emplace(e.peer, e.msg_id);
+        if (!inserted) {
+          if (e.msg_id <= it->second) {
+            add("fifo", where(r, e) + " after msg=" +
+                            std::to_string(it->second) +
+                            " from the same sender");
+          } else {
+            it->second = e.msg_id;
+          }
+        }
+      }
+      if (e.peer == e.member) self_delivered.insert(e.msg_id);
+      const auto key = pack(e.peer, e.msg_id);
+      durable.insert(key);
+      // Deliveries obligate the durable set only when they happened at a
+      // ring the caller claims durable: a delivery at a crashed node whose
+      // sender was aborted is the protocol's legal "unknown outcome"
+      // window and promises nothing (ok completions do — see send_done).
+      if (durable_labels_.count(r.label) != 0) {
+        delivered_anywhere_.try_emplace(key, where(r, e));
+      }
+    }
+  }
+
+  void check_durability() {
+    for (const std::string& label : opts_.durable_rings) {
+      if (full()) return;
+      auto it = delivered_by_ring_.find(label);
+      if (it == delivered_by_ring_.end()) {
+        bool known = false;
+        for (const RingTrace& r : rings_) known = known || r.label == label;
+        if (!known) {
+          add("durability", "no trace ring labeled '" + label + "'");
+          continue;
+        }
+      }
+      const std::unordered_set<std::uint64_t>* have =
+          it != delivered_by_ring_.end() ? &it->second : nullptr;
+      for (const auto& [key, at] : delivered_anywhere_) {
+        if (full()) return;
+        if (have == nullptr || have->count(key) == 0) {
+          add("durability",
+              label + " is missing msg=" +
+                  std::to_string(static_cast<std::uint32_t>(key)) +
+                  " from m" + std::to_string(key >> 32) +
+                  ", witnessed elsewhere:\n    " + at);
+        }
+      }
+    }
+  }
+
+  const std::vector<RingTrace>& rings_;
+  const OracleOptions& opts_;
+  Verdict verdict_;
+
+  std::unordered_map<std::uint64_t, StampRec> stamp_at_;
+  std::map<std::tuple<SeqNum, group::MemberId, std::uint32_t>,
+           std::set<std::uint64_t>>
+      stamp_content_;
+  std::unordered_map<std::uint64_t, ViewRec> views_normal_;
+  std::unordered_map<std::uint64_t, ViewRec> views_recovery_;
+  std::unordered_map<std::uint64_t, std::pair<DeliveryId, std::string>>
+      agreement_;
+  std::unordered_map<std::string, std::unordered_set<std::uint64_t>>
+      delivered_by_ring_;
+  std::map<std::uint64_t, std::string> delivered_anywhere_;
+  const std::set<std::string> durable_labels_;
+};
+
+}  // namespace
+
+std::string Verdict::to_string() const {
+  if (ok()) return "conformance: OK";
+  std::string out =
+      "conformance: " + std::to_string(violations.size()) + " violation(s)";
+  if (truncated) out += " (more suppressed)";
+  out += '\n';
+  for (const Violation& v : violations) {
+    out += "  [" + v.invariant + "] " + v.detail + '\n';
+  }
+  return out;
+}
+
+Verdict ConformanceOracle::check(const TraceCollector& traces,
+                                 const OracleOptions& opts) {
+  return check(traces.rings(), opts);
+}
+
+Verdict ConformanceOracle::check(const std::vector<RingTrace>& rings,
+                                 const OracleOptions& opts) {
+  return Checker(rings, opts).run();
+}
+
+}  // namespace amoeba::check

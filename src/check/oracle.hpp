@@ -1,0 +1,92 @@
+// ConformanceOracle: machine-checks the paper's guarantees over the
+// structured event traces of a run (trace.hpp / collector.hpp).
+//
+// Invariants checked, per Section 2's semantics:
+//
+//   agreement   — total order: no two members deliver different messages
+//                 under the same (incarnation, sequence number). Scoped by
+//                 incarnation because ResetGroup may reassign the sequence
+//                 numbers of never-accepted messages.
+//   gap-free    — per member, delivered sequence numbers are strictly
+//                 consecutive; the only legal jumps are a fresh join or a
+//                 recovery, both announced by a view event at the new
+//                 position.
+//   accept      — nothing is delivered before it is accepted at that member
+//                 (the final accept of the resilience protocol, an r = 0
+//                 stamped broadcast, or a recovery promotion).
+//   stamps      — every delivery matches a sequencer stamp, and no
+//                 (incarnation, seq) is stamped twice with different
+//                 content: exactly one ordering authority at a time.
+//   fifo        — per sender, application messages deliver in msg_id order
+//                 and never twice (FIFO-total order, Section 2).
+//   view sync   — virtual synchrony: members installing the view at the
+//                 same stream position agree on membership, and every
+//                 member adopting a recovery result under one incarnation
+//                 sees the same membership.
+//   validity    — a send completed with Status::ok was delivered locally
+//                 (completion is triggered by own-delivery; ok without a
+//                 delivery means the completion path lied).
+//   durability  — r-resilience: every app message that completed with ok
+//                 anywhere, or was delivered at a ring listed in
+//                 `durable_rings`, appears at each listed ring. A delivery
+//                 seen ONLY at an unlisted ring (e.g. a crashed sequencer
+//                 whose sender was aborted with an error) creates no
+//                 obligation — the paper's guarantee anchors at a send
+//                 that returned ok. Sound when total crashes <= r and the
+//                 listed members are in the final view and quiesced; the
+//                 caller asserts that context.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/collector.hpp"
+
+namespace amoeba::check {
+
+struct OracleOptions {
+  /// First sequence number of the group (GroupConfig::first_seq).
+  SeqNum first_seq{0};
+
+  bool check_agreement{true};
+  bool check_gap_free{true};
+  bool check_accept_before_deliver{true};
+  bool check_stamps{true};
+  bool check_fifo{true};
+  bool check_view_sync{true};
+  bool check_validity{true};
+
+  /// Labels of rings expected to hold every application message delivered
+  /// anywhere (see `durability` above). Empty: durability not checked.
+  std::vector<std::string> durable_rings;
+
+  /// Stop collecting after this many violations (reports stay readable).
+  std::size_t max_violations{16};
+};
+
+struct Violation {
+  std::string invariant;  // "agreement", "gap-free", ...
+  std::string detail;
+};
+
+struct Verdict {
+  std::vector<Violation> violations;
+  bool truncated{false};  // hit max_violations
+
+  bool ok() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+class ConformanceOracle {
+ public:
+  /// Check a drained collector (drain() first — the oracle reads only
+  /// what has been collected).
+  static Verdict check(const TraceCollector& traces,
+                       const OracleOptions& opts = {});
+  /// Check raw ring traces (synthetic histories in oracle tests, mutated
+  /// histories in the mutation smoke test).
+  static Verdict check(const std::vector<RingTrace>& rings,
+                       const OracleOptions& opts = {});
+};
+
+}  // namespace amoeba::check

@@ -1,0 +1,66 @@
+// A stats counter that is safe to read while another thread increments it.
+//
+// GroupStats / FaultStats are bumped on the protocol's executor thread and
+// read live by monitors, tests, and the trace collector. Plain uint64_t
+// fields make that a data race (flagged by TSan even though the torn-read
+// window is harmless on x86). RelaxedCounter keeps the call sites unchanged
+// (`++stats_.x`, `stats_.x += n`, compare / stream as integers) while doing
+// every access with relaxed atomics: no ordering is implied between
+// counters — each value is individually coherent, a snapshot across several
+// counters is not — which is exactly the contract stats need.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace amoeba {
+
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() noexcept = default;
+  constexpr RelaxedCounter(std::uint64_t v) noexcept : v_(v) {}
+
+  // Copyable so stats structs stay copyable (snapshots, replay compares).
+  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    store(o.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) noexcept {
+    store(v);
+    return *this;
+  }
+
+  std::uint64_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void store(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+
+  operator std::uint64_t() const noexcept { return load(); }
+
+  RelaxedCounter& operator++() noexcept {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t operator++(int) noexcept {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator+=(std::uint64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+
+  // Comparisons go through the uint64_t conversion (built-in operators):
+  // declaring == overloads here would make `counter == 3u` ambiguous.
+  friend std::ostream& operator<<(std::ostream& os, const RelaxedCounter& c) {
+    return os << c.load();
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+}  // namespace amoeba

@@ -9,8 +9,22 @@
 
 #include "common/logging.hpp"
 #include "group/backoff.hpp"
+#include "group/trace_events.hpp"
 
 namespace amoeba::group {
+
+namespace {
+/// Order-sensitive hash of a membership list (members_ is sorted by id),
+/// so two members install_view-ing the same view trace the same value.
+std::uint64_t view_hash(const std::vector<MemberInfo>& members) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const MemberInfo& m : members) {
+    h ^= m.id;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
 
 GroupMember::GroupMember(flip::FlipStack& flip, transport::Executor& exec,
                          flip::Address my_address, GroupConfig config,
@@ -236,6 +250,10 @@ const MemberInfo* GroupMember::find_member_by_addr(
 }
 
 void GroupMember::install_view(bool from_recovery) {
+  GTRACE(view, .flags = from_recovery ? std::uint8_t{1} : std::uint8_t{0},
+         .peer = seq_id_, .seq = next_deliver_,
+         .msg_id = static_cast<std::uint32_t>(members_.size()),
+         .a = view_hash(members_));
   if (cbs_.on_view) {
     ViewChange v;
     v.incarnation = inc_;
@@ -255,6 +273,7 @@ void GroupMember::install_view(bool from_recovery) {
 void GroupMember::enter_failed(Status why) {
   if (state_ == State::failed || state_ == State::left) return;
   state_ = State::failed;
+  GTRACE(fail, .a = static_cast<std::uint64_t>(why));
   exec_.cancel_timer(status_timer_);
   status_timer_ = transport::kInvalidTimer;
   exec_.cancel_timer(nack_timer_);
@@ -505,6 +524,8 @@ void GroupMember::fill_pipeline() {
     // Sender-side copy: user buffer into the kernel.
     const auto& costs = exec_.costs();
     exec_.charge(costs.copy_time(o.data.size(), costs.sender_copies));
+    GTRACE(send, .flags = o.via_bb ? std::uint8_t{1} : std::uint8_t{0},
+           .msg_id = o.msg_id, .a = o.data.size());
     outs_.push_back(std::move(o));
     if (state_ == State::running) transmit_entry(outs_.back());
     // While recovering, the request stays parked and is transmitted when
@@ -618,6 +639,9 @@ void GroupMember::complete_entry(std::uint32_t msg_id, Status s) {
     auto done = std::move(it->done);
     outs_.erase(it);
     if (s == Status::ok) ++stats_.sends_completed;
+    GTRACE(send_done,
+           .flags = s == Status::ok ? std::uint8_t{1} : std::uint8_t{0},
+           .msg_id = msg_id, .a = static_cast<std::uint64_t>(s));
     if (done) done(s);
     if (state_ == State::running) fill_pipeline();
     return;
@@ -649,7 +673,12 @@ void GroupMember::on_seq_data(const WireMsg& m) {
   const bool tentative_now = (m.flags & kFlagTentative) != 0 && !was_accepted;
   p.tentative = tentative_now;
   if (tentative_now) {
+    GTRACE(tentative, .mkind = p.kind, .peer = p.sender, .seq = m.seq,
+           .msg_id = p.msg_id);
     maybe_send_resil_ack(m.seq, m.sender);
+  } else if (!was_accepted) {
+    GTRACE(accept, .mkind = p.kind, .peer = p.sender, .seq = m.seq,
+           .msg_id = p.msg_id);
   }
   drain_deliverable();
   if (missing_anything()) schedule_nack();
@@ -677,9 +706,17 @@ void GroupMember::on_seq_accept(const WireMsg& m) {
   }
   const bool tentative_now = (m.flags & kFlagTentative) != 0;
   if (!tentative_now) {
+    if (p.tentative || inserted) {
+      GTRACE(accept, .mkind = p.kind, .peer = p.sender, .seq = m.seq,
+             .msg_id = p.msg_id);
+    }
     p.tentative = false;
-  } else if (p.tentative) {
-    maybe_send_resil_ack(m.seq, m.sender);
+  } else {
+    if (inserted) {
+      GTRACE(tentative, .mkind = p.kind, .peer = p.sender, .seq = m.seq,
+             .msg_id = p.msg_id);
+    }
+    if (p.tentative) maybe_send_resil_ack(m.seq, m.sender);
   }
   drain_deliverable();
   if (missing_anything()) schedule_nack();
@@ -732,6 +769,8 @@ void GroupMember::deliver(SeqNum seq, PendingMsg msg) {
   history_.back().data = gm.data;  // share the payload with the app copy
 
   ++stats_.messages_delivered;
+  GTRACE(deliver, .mkind = gm.kind, .peer = gm.sender, .seq = seq,
+         .msg_id = gm.sender_msg_id, .a = check::fingerprint(gm.data));
 
   if (i_am_sequencer()) {
     horizon_[my_id_] = next_deliver_;
@@ -835,6 +874,7 @@ void GroupMember::fire_nack() {
   m.range_count = count;
   ++stats_.nacks_sent;
   if (nack_attempts_ > 1) ++stats_.nack_retries_fired;
+  GTRACE(nack, .seq = from, .a = count);
   send_to_sequencer(std::move(m));
   // Back off while the gap persists (capped low: everything behind the gap
   // waits on this timer), desynchronized across members by id.

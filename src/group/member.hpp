@@ -26,6 +26,8 @@
 #include <set>
 #include <vector>
 
+#include "check/trace.hpp"
+#include "common/relaxed_counter.hpp"
 #include "common/result.hpp"
 #include "flip/stack.hpp"
 #include "group/config.hpp"
@@ -37,30 +39,33 @@
 namespace amoeba::group {
 
 /// Counters exposed for tests, benches, and GetInfoGroup diagnostics.
+/// RelaxedCounter so monitors and tests may read them live while the
+/// executor thread increments (each counter individually coherent; no
+/// cross-counter snapshot ordering).
 struct GroupStats {
-  std::uint64_t sends_pb{0};
-  std::uint64_t sends_bb{0};
-  std::uint64_t sends_completed{0};
-  std::uint64_t messages_delivered{0};
-  std::uint64_t messages_sequenced{0};
-  std::uint64_t nacks_sent{0};
-  std::uint64_t retransmits_served{0};
-  std::uint64_t retransmits_received{0};
-  std::uint64_t retransmit_misses{0};
-  std::uint64_t resil_acks_sent{0};
-  std::uint64_t duplicates_dropped{0};
-  std::uint64_t history_stalls{0};  // sequencer dropped a request: no room
-  std::uint64_t status_polls{0};
-  std::uint64_t expels_issued{0};
-  std::uint64_t resets_started{0};
-  std::uint64_t resets_completed{0};
+  RelaxedCounter sends_pb;
+  RelaxedCounter sends_bb;
+  RelaxedCounter sends_completed;
+  RelaxedCounter messages_delivered;
+  RelaxedCounter messages_sequenced;
+  RelaxedCounter nacks_sent;
+  RelaxedCounter retransmits_served;
+  RelaxedCounter retransmits_received;
+  RelaxedCounter retransmit_misses;
+  RelaxedCounter resil_acks_sent;
+  RelaxedCounter duplicates_dropped;
+  RelaxedCounter history_stalls;  // sequencer dropped a request: no room
+  RelaxedCounter status_polls;
+  RelaxedCounter expels_issued;
+  RelaxedCounter resets_started;
+  RelaxedCounter resets_completed;
   // Recovery-under-adversity observability: every retry the live path
   // takes, and every time a budget ran out, is countable.
-  std::uint64_t send_retries_fired{0};  // send retry timer fired
-  std::uint64_t nack_retries_fired{0};  // NACK re-asked after a silence
-  std::uint64_t join_retries_fired{0};  // join_req re-broadcast
-  std::uint64_t congestion_resets{0};   // retry counter reset: group alive
-  std::uint64_t send_budget_exhausted{0};  // send failed retry_exhausted
+  RelaxedCounter send_retries_fired;  // send retry timer fired
+  RelaxedCounter nack_retries_fired;  // NACK re-asked after a silence
+  RelaxedCounter join_retries_fired;  // join_req re-broadcast
+  RelaxedCounter congestion_resets;   // retry counter reset: group alive
+  RelaxedCounter send_budget_exhausted;  // send failed retry_exhausted
 };
 
 class GroupMember {
@@ -133,6 +138,12 @@ class GroupMember {
   using TraceFn =
       std::function<void(bool outgoing, const WireMsg& msg, Time at)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  /// Structured event tracing (src/check): when a ring is attached, the
+  /// protocol's semantic transitions (send/stamp/accept/deliver/view/...)
+  /// are recorded for the ConformanceOracle. Null detaches. One
+  /// null-check per site when unset; compiled out with AMOEBA_TRACE=OFF.
+  void set_trace_ring(check::TraceRing* ring) { trace_ring_ = ring; }
 
   /// Human-readable one-liner for a wire message (tracing, logs, tests).
   static std::string describe(const WireMsg& msg);
@@ -256,6 +267,7 @@ class GroupMember {
   Callbacks cbs_;
   GroupStats stats_;
   TraceFn trace_;
+  check::TraceRing* trace_ring_{nullptr};
 
   State state_{State::idle};
   flip::Address gaddr_;

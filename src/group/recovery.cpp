@@ -30,6 +30,7 @@
 
 #include "common/logging.hpp"
 #include "group/member.hpp"
+#include "group/trace_events.hpp"
 
 namespace amoeba::group {
 
@@ -76,6 +77,7 @@ void GroupMember::reset_group(std::uint32_t min_size, ResetCb done) {
   recovery_ = std::move(r);
   max_inc_seen_ = recovery_->incarnation;
   state_ = State::recovering;
+  GTRACE_AT_INC(reset_start, recovery_->incarnation, .peer = my_id_);
   coord_invite_round();
 }
 
@@ -163,6 +165,8 @@ void GroupMember::on_reset_invite(const flip::Address&, const WireMsg& m) {
     recovery_ = std::move(r);
   }
   state_ = State::recovering;
+  GTRACE_AT_INC(reset_start, recovery_->incarnation,
+                .peer = recovery_->coord_id);
   send_my_vote();
   // Voter watchdog: if no result ever arrives (coordinator died), give up
   // so the application can trigger a fresh attempt.
@@ -395,6 +399,8 @@ void GroupMember::coord_finish() {
     auto it = ooo_.find(s);
     if (it != ooo_.end() && it->second.have_data) {
       it->second.tentative = false;
+      GTRACE(accept, .mkind = it->second.kind, .peer = it->second.sender,
+             .seq = s, .msg_id = it->second.msg_id);
       continue;
     }
     const auto rec = r.recovered.find(s);
@@ -406,6 +412,8 @@ void GroupMember::coord_finish() {
     p.data = std::move(rec->second.data);
     p.tentative = false;
     p.have_data = true;
+    GTRACE(accept, .mkind = p.kind, .peer = p.sender, .seq = s,
+           .msg_id = p.msg_id);
     ooo_.insert_or_assign(s, std::move(p));
   }
   // Anything beyond the target did not survive: it was never accepted and
@@ -429,6 +437,8 @@ void GroupMember::coord_finish() {
   }
 
   ++stats_.resets_completed;
+  GTRACE(reset_done, .peer = my_id_, .seq = r.target,
+         .a = members_.size());
 
   // Publish the new view; a few rebroadcasts cover lost frames, and the
   // per-member snapshot answers stragglers.
@@ -510,6 +520,8 @@ void GroupMember::on_reset_result(const WireMsg& m) {
       it = ooo_.erase(it);
     } else {
       it->second.tentative = false;
+      GTRACE(accept, .mkind = it->second.kind, .peer = it->second.sender,
+             .seq = it->first, .msg_id = it->second.msg_id);
       ++it;
     }
   }
@@ -520,6 +532,7 @@ void GroupMember::on_reset_result(const WireMsg& m) {
   }
 
   ++stats_.resets_completed;
+  GTRACE(reset_done, .peer = seq_id_, .seq = target, .a = members_.size());
   start_status_timer();
   if (done) done(Status::ok, static_cast<std::uint32_t>(members_.size()));
   install_view(true);
@@ -530,6 +543,7 @@ void GroupMember::coord_fail(Status why) {
   recovery_.reset();
   exec_.cancel_timer(r.timer);
   state_ = State::failed;
+  GTRACE(fail, .a = static_cast<std::uint64_t>(why));
   if (r.done) r.done(why, 0);
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/logging.hpp"
 #include "group/member.hpp"
+#include "group/trace_events.hpp"
 
 namespace amoeba::group {
 
@@ -95,6 +96,9 @@ bool GroupMember::seq_assign(MemberId sender, std::uint32_t msg_id,
     if (cfg_.flow_control) seq_release_fc_slot(sender);
   }
   ++stats_.messages_sequenced;
+  GTRACE(stamp, .mkind = kind,
+         .flags = via_bb ? std::uint8_t{1} : std::uint8_t{0}, .peer = sender,
+         .seq = s, .msg_id = msg_id, .a = check::fingerprint(data));
   // The sequencer's re-emit copy: history buffer -> Lance for the broadcast.
   exec_.charge(exec_.costs().copy_time(data.size(), exec_.costs().seq_tx_copies));
 
@@ -261,6 +265,7 @@ void GroupMember::seq_serve_retransmit(MemberId to, SeqNum seq) {
     return;
   }
   ++stats_.retransmits_served;
+  GTRACE(retransmit, .peer = to, .seq = seq);
   exec_.charge(
       exec_.costs().copy_time(m.payload.size(), exec_.costs().seq_tx_copies));
   if (to == my_id_) return;  // we obviously have it

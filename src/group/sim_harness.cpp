@@ -40,6 +40,7 @@ SimProcess::SimProcess(sim::Node& node, flip::Address addr, GroupConfig cfg,
           .on_view = [this](const ViewChange& v) { views_.push_back(v); },
           .on_fault = [this](Status s) { fault_ = s; },
       });
+  member_->set_trace_ring(&trace_ring_);
 }
 
 void SimProcess::user_send(Buffer data, GroupMember::StatusCb done) {
@@ -58,6 +59,7 @@ SimGroupHarness::SimGroupHarness(std::size_t n_processes, GroupConfig cfg,
     procs_.push_back(std::make_unique<SimProcess>(
         world_.node(i), flip::process_address(next_addr_++), cfg_,
         seed_ ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
+    collector_.attach("m" + std::to_string(i), &procs_.back()->trace_ring());
   }
 }
 
@@ -66,6 +68,12 @@ SimProcess& SimGroupHarness::add_process() {
   procs_.push_back(std::make_unique<SimProcess>(
       node, flip::process_address(next_addr_++), cfg_,
       seed_ ^ (0x9E3779B97F4A7C15ULL * (procs_.size() + 1))));
+  if (tracing_) {
+    collector_.attach("m" + std::to_string(procs_.size() - 1),
+                      &procs_.back()->trace_ring());
+  } else {
+    procs_.back()->member().set_trace_ring(nullptr);
+  }
   return *procs_.back();
 }
 
@@ -100,8 +108,30 @@ bool SimGroupHarness::run_until(const std::function<bool()>& pred,
   while (!pred()) {
     if (engine().now() >= limit || engine().pending() == 0) return pred();
     engine().run_steps(1);
+    if (tracing_) collector_.drain();
   }
   return true;
+}
+
+check::Verdict SimGroupHarness::check_conformance(check::OracleOptions opts) {
+  opts.first_seq = cfg_.first_seq;
+  collector_.drain();
+  return check::ConformanceOracle::check(collector_, opts);
+}
+
+void SimGroupHarness::set_tracing(bool on) {
+  if (on == tracing_) return;
+  tracing_ = on;
+  if (on) {
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      procs_[i]->member().set_trace_ring(&procs_[i]->trace_ring());
+      collector_.attach("m" + std::to_string(i), &procs_[i]->trace_ring());
+    }
+  } else {
+    for (auto& p : procs_) p->member().set_trace_ring(nullptr);
+    collector_.detach_all();
+    collector_.clear();
+  }
 }
 
 }  // namespace amoeba::group

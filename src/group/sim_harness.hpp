@@ -11,6 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "check/collector.hpp"
+#include "check/oracle.hpp"
 #include "flip/stack.hpp"
 #include "group/config.hpp"
 #include "group/member.hpp"
@@ -33,6 +35,9 @@ class SimProcess {
   /// The fault interposer between the FLIP stack and the simulated NIC.
   /// Inactive (single-branch passthrough) until given a plan or schedule.
   transport::FaultDevice& faults() { return faults_; }
+  /// This process's structured event ring (attached to the member by the
+  /// harness; drained through the harness collector).
+  check::TraceRing& trace_ring() { return trace_ring_; }
 
   /// User-level SendToGroup: charges the syscall cost (U1), then runs the
   /// protocol send; `done` fires when the send completes.
@@ -56,6 +61,7 @@ class SimProcess {
 
  private:
   sim::Node& node_;
+  check::TraceRing trace_ring_;
   transport::SimExecutor exec_;
   transport::SimDevice dev_;
   transport::FaultDevice faults_;
@@ -94,11 +100,25 @@ class SimGroupHarness {
   /// Returns whether the predicate became true.
   bool run_until(const std::function<bool()>& pred, Duration deadline);
 
+  /// The collected structured event history of the run so far (rings are
+  /// drained on every run_until step; labels are "m0", "m1", ...).
+  check::TraceCollector& traces() { return collector_; }
+
+  /// Run the ConformanceOracle over everything traced so far. first_seq is
+  /// filled from the harness config; other options are the caller's.
+  check::Verdict check_conformance(check::OracleOptions opts = {});
+
+  /// Tracing is on by default; heavy benches can switch it off to keep the
+  /// rings from churning (already-collected events are discarded too).
+  void set_tracing(bool on);
+
  private:
   GroupConfig cfg_;
   sim::World world_;
   flip::Address gaddr_;
   std::vector<std::unique_ptr<SimProcess>> procs_;
+  check::TraceCollector collector_;
+  bool tracing_{true};
   std::uint64_t next_addr_{1};
   std::uint64_t seed_{1};
 };

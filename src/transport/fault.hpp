@@ -40,8 +40,10 @@
 //
 // Threading: all state is touched only from the runtime's serialized
 // context (send_* and the receive handler run there by the Device lock
-// protocol), so the class needs no lock of its own. Read `fault_stats()`
-// from that context too (tests: under the runtime mutex, or after stop()).
+// protocol), so the class needs no lock of its own. The counters in
+// `fault_stats()` are relaxed atomics, so tests and monitors may read them
+// live from any thread; everything else (plans, schedules) stays
+// runtime-context only.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/relaxed_counter.hpp"
 #include "common/rng.hpp"
 #include "transport/runtime.hpp"
 
@@ -90,18 +93,19 @@ struct NemesisEvent {
   StationId station{kBroadcastStation};
 };
 
-/// Everything the interposer did, queryable per station.
+/// Everything the interposer did, queryable per station. RelaxedCounter:
+/// tests and monitors read these live while the device thread counts.
 struct FaultStats {
-  std::uint64_t frames_tx{0};  // send_* calls inspected while active
-  std::uint64_t frames_rx{0};  // inbound frames inspected while active
-  std::uint64_t drops{0};
-  std::uint64_t duplicates{0};
-  std::uint64_t corruptions{0};
-  std::uint64_t delays{0};
-  std::uint64_t partition_drops{0};  // cut by the current partition
-  std::uint64_t crash_tx_drops{0};
-  std::uint64_t crash_rx_drops{0};
-  std::uint64_t nemesis_applied{0};  // schedule events reached
+  RelaxedCounter frames_tx;  // send_* calls inspected while active
+  RelaxedCounter frames_rx;  // inbound frames inspected while active
+  RelaxedCounter drops;
+  RelaxedCounter duplicates;
+  RelaxedCounter corruptions;
+  RelaxedCounter delays;
+  RelaxedCounter partition_drops;  // cut by the current partition
+  RelaxedCounter crash_tx_drops;
+  RelaxedCounter crash_rx_drops;
+  RelaxedCounter nemesis_applied;  // schedule events reached
 
   std::uint64_t injected() const {
     return drops + duplicates + corruptions + delays + partition_drops +

@@ -11,6 +11,17 @@ GroupConfig default_cfg() {
   return cfg;
 }
 
+/// Every test ends by running the ConformanceOracle over the full event
+/// trace; `durable` lists the members that must hold every message by the
+/// time the test's own wait predicates were satisfied.
+void expect_conformant(SimGroupHarness& h,
+                       std::vector<std::string> durable = {}) {
+  check::OracleOptions opts;
+  opts.durable_rings = std::move(durable);
+  const auto v = h.check_conformance(opts);
+  EXPECT_TRUE(v.ok()) << v.to_string() << h.traces().dump_text(200);
+}
+
 TEST(GroupBasic, FormGroupOfTwo) {
   SimGroupHarness h(2, default_cfg());
   ASSERT_TRUE(h.form_group());
@@ -20,6 +31,7 @@ TEST(GroupBasic, FormGroupOfTwo) {
   EXPECT_EQ(info.size(), 2u);
   EXPECT_EQ(info.sequencer, 0u);
   EXPECT_EQ(info.my_id, 1u);
+  expect_conformant(h);
 }
 
 TEST(GroupBasic, SingleBroadcastReachesEveryone) {
@@ -51,6 +63,7 @@ TEST(GroupBasic, SingleBroadcastReachesEveryone) {
     EXPECT_EQ(app->sender, 1u);
     EXPECT_TRUE(check_pattern_buffer(app->data));
   }
+  expect_conformant(h, {"m0", "m1", "m2"});
 }
 
 TEST(GroupBasic, TotalOrderWithConcurrentSenders) {
@@ -113,6 +126,7 @@ TEST(GroupBasic, TotalOrderWithConcurrentSenders) {
       }
     }
   }
+  expect_conformant(h, {"m0", "m1", "m2", "m3"});
 }
 
 TEST(GroupBasic, BbMethodDeliversLargeMessage) {
@@ -149,6 +163,7 @@ TEST(GroupBasic, BbMethodDeliversLargeMessage) {
     }
   }
   EXPECT_GE(h.process(2).member().stats().sends_bb, 1u);
+  expect_conformant(h, {"m0", "m1", "m2"});
 }
 
 TEST(GroupBasic, LeaveIsOrderedAndShrinksGroup) {
@@ -167,6 +182,7 @@ TEST(GroupBasic, LeaveIsOrderedAndShrinksGroup) {
       },
       Duration::seconds(5)));
   EXPECT_EQ(h.process(1).member().state(), GroupMember::State::left);
+  expect_conformant(h);
 }
 
 TEST(GroupBasic, SequencerLeaveHandsOff) {
@@ -192,6 +208,7 @@ TEST(GroupBasic, SequencerLeaveHandsOff) {
     delivered = true;
   });
   EXPECT_TRUE(h.run_until([&] { return delivered; }, Duration::seconds(5)));
+  expect_conformant(h);
 }
 
 TEST(GroupBasic, LateJoinerSeesSubsequentTraffic) {
@@ -218,6 +235,7 @@ TEST(GroupBasic, LateJoinerSeesSubsequentTraffic) {
         return false;
       },
       Duration::seconds(5)));
+  expect_conformant(h);
 }
 
 }  // namespace

@@ -31,6 +31,7 @@ struct PartitionFixture : ::testing::Test {
   std::unique_ptr<flip::FlipStack> router;
   std::vector<std::unique_ptr<SimProcess>> procs;
   const flip::Address gaddr = flip::group_address(0x9A97);
+  check::TraceCollector collector;
 
   void SetUp() override {
     GroupConfig cfg;
@@ -58,6 +59,7 @@ struct PartitionFixture : ::testing::Test {
     for (std::size_t i = 0; i < 5; ++i) {
       procs.push_back(std::make_unique<SimProcess>(
           *nodes[i], flip::process_address(i + 1), cfg));
+      collector.attach("m" + std::to_string(i), &procs[i]->trace_ring());
     }
     std::size_t formed = 0;
     procs[0]->member().create_group(gaddr, [&](Status s) {
@@ -82,8 +84,19 @@ struct PartitionFixture : ::testing::Test {
     while (!pred()) {
       if (engine.now() >= limit || engine.pending() == 0) return pred();
       engine.run_steps(1);
+      collector.drain();
     }
     return true;
+  }
+
+  /// Oracle the whole two-LAN history. Durability is never claimed here —
+  /// a partition legitimately leaves the two incarnations with different
+  /// suffixes; the agreement/stamp/view invariants (keyed by incarnation)
+  /// are exactly what "split brain is contained" means.
+  void expect_conformant() {
+    collector.drain();
+    const auto v = check::ConformanceOracle::check(collector);
+    EXPECT_TRUE(v.ok()) << v.to_string() << collector.dump_text(200);
   }
 };
 
@@ -155,6 +168,7 @@ TEST_F(PartitionFixture, SplitBrainIsContainedByIncarnations) {
       EXPECT_TRUE(check_pattern_buffer(m.data));
     }
   }
+  expect_conformant();
 }
 
 TEST_F(PartitionFixture, MinorityRejoinsMajorityAfterHeal) {
@@ -206,8 +220,12 @@ TEST_F(PartitionFixture, MinorityRejoinsMajorityAfterHeal) {
       // old member is still on the call stack here, so the swap is
       // deferred to a fresh event.
       engine.schedule(Duration::millis(1), [&, p] {
+        // The old member's ring dies with it; keep its history on file and
+        // collect the fresh process under the same label.
+        collector.detach("m" + std::to_string(p));
         procs[p] = std::make_unique<SimProcess>(
             *nodes[p], flip::process_address(100 + p), GroupConfig{});
+        collector.attach("m" + std::to_string(p), &procs[p]->trace_ring());
         procs[p]->member().join_group(gaddr, [&](Status s) {
           ASSERT_EQ(s, Status::ok);
           ++rejoined;
@@ -227,6 +245,7 @@ TEST_F(PartitionFixture, MinorityRejoinsMajorityAfterHeal) {
   procs[1]->user_send(make_pattern_buffer(8), [](Status) {});
   EXPECT_TRUE(run_until([&] { return delivered_on_b; },
                         Duration::seconds(30)));
+  expect_conformant();
 }
 
 }  // namespace

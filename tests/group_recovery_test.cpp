@@ -26,6 +26,18 @@ std::vector<GroupMessage> app_messages(const SimProcess& p) {
   return out;
 }
 
+/// Oracle every recovery history: quiesce briefly so in-flight deliveries
+/// land, then require conformance; `durable` lists the survivors that must
+/// hold every ok-completed message.
+void expect_conformant(SimGroupHarness& h,
+                       std::vector<std::string> durable = {}) {
+  h.run_until([] { return false; }, Duration::millis(300));
+  check::OracleOptions opts;
+  opts.durable_rings = std::move(durable);
+  const auto v = h.check_conformance(opts);
+  EXPECT_TRUE(v.ok()) << v.to_string() << h.traces().dump_text(200);
+}
+
 void pump(SimGroupHarness& h, std::size_t proc, int count, int* ok_count) {
   auto next = std::make_shared<std::function<void(int)>>();
   *next = [&h, proc, count, ok_count, next](int k) {
@@ -84,6 +96,7 @@ TEST(GroupRecovery, SequencerCrashThenResetElectsNewSequencer) {
   int sent2 = 0;
   pump(h, 3, 5, &sent2);
   ASSERT_TRUE(h.run_until([&] { return sent2 == 5; }, Duration::seconds(30)));
+  expect_conformant(h, {"m1", "m2", "m3"});
 }
 
 TEST(GroupRecovery, SurvivorsAgreeOnPrefixAfterCrash) {
@@ -122,6 +135,7 @@ TEST(GroupRecovery, SurvivorsAgreeOnPrefixAfterCrash) {
     EXPECT_EQ(b[i].sender, c[i].sender);
     EXPECT_EQ(b[i].sender_msg_id, c[i].sender_msg_id);
   }
+  expect_conformant(h, {"m1", "m2", "m3"});
 }
 
 TEST(GroupRecovery, ResilienceSurvivesRCrashes) {
@@ -162,6 +176,7 @@ TEST(GroupRecovery, ResilienceSurvivesRCrashes) {
     EXPECT_EQ(a[i].sender, b[i].sender);
     EXPECT_EQ(a[i].sender_msg_id, b[i].sender_msg_id);
   }
+  expect_conformant(h, {"m2", "m3", "m4"});
 }
 
 TEST(GroupRecovery, QuorumFailureBlocksRebuild) {
@@ -190,6 +205,7 @@ TEST(GroupRecovery, QuorumFailureBlocksRebuild) {
                           Duration::seconds(60)));
   EXPECT_EQ(*retry, Status::ok);
   EXPECT_TRUE(h.process(3).member().i_am_sequencer());
+  expect_conformant(h);
 }
 
 TEST(GroupRecovery, ConcurrentResetsConverge) {
@@ -234,6 +250,7 @@ TEST(GroupRecovery, ConcurrentResetsConverge) {
   int sent2 = 0;
   pump(h, 4, 5, &sent2);
   EXPECT_TRUE(h.run_until([&] { return sent2 == 5; }, Duration::seconds(30)));
+  expect_conformant(h, {"m1", "m2", "m3", "m4"});
 }
 
 TEST(GroupRecovery, FailureDuringRecoveryRestarts) {
@@ -260,6 +277,7 @@ TEST(GroupRecovery, FailureDuringRecoveryRestarts) {
   int sent2 = 0;
   pump(h, 2, 5, &sent2);
   EXPECT_TRUE(h.run_until([&] { return sent2 == 5; }, Duration::seconds(60)));
+  expect_conformant(h);
 }
 
 TEST(GroupRecovery, NonSequencerCrashOnlyNeedsExpelNotReset) {
@@ -281,6 +299,7 @@ TEST(GroupRecovery, NonSequencerCrashOnlyNeedsExpelNotReset) {
       Duration::seconds(120)));
   EXPECT_EQ(h.process(0).member().info().incarnation, 0u)
       << "no reset needed when the sequencer survives";
+  expect_conformant(h, {"m0", "m1", "m3"});
 }
 
 TEST(GroupRecovery, OutstandingSendNotDuplicatedAcrossReset) {
@@ -313,6 +332,7 @@ TEST(GroupRecovery, OutstandingSendNotDuplicatedAcrossReset) {
           << "duplicate delivery at survivor " << p;
     }
   }
+  expect_conformant(h, {"m1", "m2"});
 }
 
 }  // namespace
