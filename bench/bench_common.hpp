@@ -44,17 +44,29 @@ struct ThroughputResult {
   std::uint64_t nic_drops{0};
   std::uint64_t collisions{0};
   std::uint64_t retransmits{0};
+  std::uint64_t batch_frames{0};  // seq_packed frames the sequencer emitted
+  std::uint64_t batch_msgs{0};    // messages carried inside those frames
   bool ok{false};
 };
 
-/// `senders` members (default: all) each loop SendToGroup with `bytes`.
-/// `history_size` 0 = the paper's 128.
+/// Batching & pipelining knobs for throughput runs. The defaults are the
+/// PAPER's protocol — one multicast per message, one blocking send per
+/// member — so the Figure 4/5 reproduction tables stay anchored; the
+/// extension sections pass explicit values.
+struct ThroughputOptions {
+  std::size_t batch_count{1};  // sequencer packing cap (1 = off)
+  int window{1};               // concurrent sends kept in flight per member
+};
+
+/// `members` each loop SendToGroup with `bytes`, keeping `opts.window`
+/// sends in flight. `history_size` 0 = the paper's 128.
 ThroughputResult measure_throughput(std::size_t members, std::size_t bytes,
                                     group::Method method,
                                     std::uint32_t resilience = 0,
                                     Duration sim_time = Duration::seconds(5),
                                     std::uint64_t seed = 1,
-                                    std::size_t history_size = 0);
+                                    std::size_t history_size = 0,
+                                    ThroughputOptions opts = {});
 
 /// Figure 6: `n_groups` disjoint groups of `group_size` members, all on
 /// ONE Ethernet, every member sending continuously. Returns the aggregate

@@ -44,5 +44,35 @@ int main() {
       "\nPaper: max 815 msg/s at 0 B (sequencer-bound); 4 KB messages\n"
       "collapse when ~11 simultaneous messages (33 fragments) overflow\n"
       "the 32-frame Lance ring and the protocol waits out timers.\n");
+
+  // EXTENSION: sequencer batching & windowed senders. The ablation keeps
+  // the same send window (4 per member) but one multicast per message;
+  // batched packs pending requests into seq_packed frames (cap 24),
+  // amortizing the per-frame emission + per-member interrupt cost that
+  // Figure 4's flat ceiling is made of.
+  std::printf("\nBatching & pipelining extension (0 B, window 4/member):\n");
+  print_series_header({"senders", "ablation", "batched", "speedup", "mean k"});
+  const ThroughputOptions ablate{.batch_count = 1, .window = 4};
+  const ThroughputOptions batched{.batch_count = 24, .window = 4};
+  for (const std::size_t n : {4u, 8u, 16u}) {
+    const auto a = measure_throughput(n, 0, group::Method::pb, 0,
+                                      Duration::seconds(5), 1, 0, ablate);
+    const auto b = measure_throughput(n, 0, group::Method::pb, 0,
+                                      Duration::seconds(5), 1, 0, batched);
+    const double k = b.batch_frames > 0
+                         ? static_cast<double>(b.batch_msgs) /
+                               static_cast<double>(b.batch_frames)
+                         : 1.0;
+    print_row({fmt("%zu", static_cast<std::size_t>(n)),
+               fmt("%.0f", a.msgs_per_sec), fmt("%.0f", b.msgs_per_sec),
+               fmt("%.2fx", b.msgs_per_sec / a.msgs_per_sec),
+               fmt("%.1f", k)});
+  }
+  std::printf(
+      "\nExtension: packed data frames + range Accepts lift the\n"
+      "sequencer-bound ceiling; the unbatched ablation at window 4 is\n"
+      "worse than blocking senders because one frame per message\n"
+      "overflows the sequencer's 32-frame ring (the paper's own\n"
+      "congestion collapse, now at 0 bytes).\n");
   return 0;
 }

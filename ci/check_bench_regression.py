@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the micro-benchmark suite.
+
+Compares a fresh Google-Benchmark JSON run against the committed
+baseline (BENCH_micro.json) and fails when any *round-trip* benchmark —
+the codec hot path the zero-copy and batching work protects — regressed
+by more than the tolerance. Other suites (CRC sweeps, simulator
+broadcasts) are reported but never gate: they measure the simulated
+testbed, not the implementation's hot path.
+
+Only the intersection of benchmark names is compared, so adding or
+removing a benchmark never breaks the gate; renames show up as a
+shrinking intersection, which the script prints.
+
+Usage:
+    python3 ci/check_bench_regression.py \
+        --baseline BENCH_micro.json --candidate build-rel/BENCH_micro.json
+
+Environment:
+    AMOEBA_BENCH_TOLERANCE  allowed fractional slowdown (default 0.25).
+        CI runners are noisy; the default only catches step-change
+        regressions (an accidental copy, a lost fast path), not drift.
+
+Stdlib only — the CI image has no pip.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Benchmarks whose names contain one of these substrings gate the build:
+# the encode/decode round trips whose flatness-across-sizes is the whole
+# point of the zero-copy path (see docs/PERF.md).
+GATED_SUBSTRINGS = ("RoundTrip", "EncodeDecode")
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """benchmark name -> real_time in nanoseconds.
+
+    With --benchmark_repetitions the file holds one entry per repetition
+    (sharing a run_name) plus aggregates; we take the MIN across
+    repetitions — scheduling noise only ever adds time, so the minimum
+    is the noise-robust estimate of the true cost.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue  # derived from the raw repetitions below
+        name = b.get("run_name") or b.get("name")
+        t = b.get("real_time")
+        if name is None or t is None:
+            continue
+        ns = float(t) * _UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        out[name] = min(out.get(name, ns), ns)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="committed JSON")
+    ap.add_argument("--candidate", required=True, help="fresh run JSON")
+    args = ap.parse_args()
+
+    tolerance = float(os.environ.get("AMOEBA_BENCH_TOLERANCE", "0.25"))
+
+    base = load_times(args.baseline)
+    cand = load_times(args.candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("FAIL: no common benchmark names between %s and %s"
+              % (args.baseline, args.candidate))
+        return 1
+
+    failures = []
+    print("%-34s %12s %12s %8s  %s" %
+          ("benchmark", "base (ns)", "new (ns)", "ratio", "verdict"))
+    for name in common:
+        ratio = cand[name] / base[name] if base[name] > 0 else float("inf")
+        gated = any(s in name for s in GATED_SUBSTRINGS)
+        regressed = gated and ratio > 1.0 + tolerance
+        verdict = ("REGRESSED" if regressed else
+                   ("ok" if gated else "info-only"))
+        print("%-34s %12.1f %12.1f %7.2fx  %s" %
+              (name, base[name], cand[name], ratio, verdict))
+        if regressed:
+            failures.append((name, ratio))
+
+    dropped = sorted(set(base) - set(cand))
+    if dropped:
+        print("note: in baseline but not in this run: %s" % ", ".join(dropped))
+
+    if failures:
+        print("\nFAIL: %d round-trip benchmark(s) slower than baseline "
+              "by more than %.0f%%:" % (len(failures), tolerance * 100))
+        for name, ratio in failures:
+            print("  %s: %.2fx" % (name, ratio))
+        print("If the slowdown is intended, refresh the baseline:\n"
+              "  ./build-rel/bench/bench_micro  # rewrites BENCH_micro.json")
+        return 1
+
+    print("\nOK: round-trip suites within %.0f%% of baseline "
+          "(%d benchmarks compared)" % (tolerance * 100, len(common)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

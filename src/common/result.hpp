@@ -42,6 +42,9 @@ enum class Status : int {
   /// like `timeout`, this is an at-most-once ambiguity — but the group
   /// itself has not failed: retrying the call is safe and ordered.
   retry_exhausted,
+  /// A GroupConfig tunable is unusable (zero history/batch sizes, ...).
+  /// Raised by CreateGroup/JoinGroup instead of silently misbehaving.
+  bad_config,
 };
 
 /// Human-readable name for a status code (stable, for logs and tests).
@@ -59,6 +62,7 @@ constexpr std::string_view to_string(Status s) noexcept {
     case Status::aborted: return "aborted";
     case Status::invalid_argument: return "invalid_argument";
     case Status::retry_exhausted: return "retry_exhausted";
+    case Status::bad_config: return "bad_config";
   }
   return "unknown";
 }

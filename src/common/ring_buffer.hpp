@@ -49,6 +49,14 @@ class RingBuffer {
   const T* front() const { return empty() ? nullptr : &slots_[head_]; }
   T* front() { return empty() ? nullptr : &slots_[head_]; }
 
+  /// Peek the tail (most recently pushed) element.
+  const T* back() const {
+    return empty() ? nullptr : &slots_[(head_ + size_ - 1) % slots_.size()];
+  }
+  T* back() {
+    return empty() ? nullptr : &slots_[(head_ + size_ - 1) % slots_.size()];
+  }
+
   /// Random access from the head: at(0) == front.
   const T& at(std::size_t i) const {
     assert(i < size_);

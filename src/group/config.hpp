@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/result.hpp"
 #include "common/seqnum.hpp"
 #include "common/types.hpp"
 
@@ -48,7 +49,24 @@ struct GroupConfig {
   /// semantics. With k > 1 the sequencer still enforces per-sender FIFO
   /// (requests are sequenced in msg_id order, buffering gaps), so the
   /// ordering guarantees are unchanged; completions fire in send order.
+  /// Throughput benches raise this to a real send window so concurrent
+  /// senders stop serializing on the request/broadcast RTT.
   int max_outstanding = 1;
+
+  // --- Sequencer batching (EXTENSION: Ring-Paxos-style packing) ----------
+  /// While requests are queued at the sequencer, consecutive stamped
+  /// messages are packed into one `seq_packed` multicast and pending
+  /// accepts piggyback on it (or coalesce into one `seq_accept_range`).
+  /// `batch_count` caps the messages per packed frame; 1 disables packing
+  /// and reproduces the paper's one-multicast-per-message wire behaviour
+  /// exactly (the ablation mode the benches compare against).
+  std::size_t batch_count = 16;
+  /// Byte budget for one packed frame's payload. The default keeps a
+  /// packed frame within a single Ethernet fragment (1398 bytes of FLIP
+  /// payload minus the 60-byte group header), so packing never induces
+  /// fragmentation. A message larger than the budget still travels — it
+  /// simply gets a frame of its own, exactly as without batching.
+  std::size_t batch_bytes = 1338;
 
   // --- Negative acknowledgements ------------------------------------------
   /// Retry cadence while a gap persists.
@@ -117,6 +135,27 @@ struct GroupConfig {
   std::size_t fc_threshold = 2 * 1398;
   /// Concurrent large transfers the sequencer admits.
   int fc_slots = 2;
+
+  /// Validate and clamp the tunables. Called once by CreateGroup/JoinGroup
+  /// so a nonsensical configuration surfaces as a typed Status::bad_config
+  /// instead of silent misbehaviour (a zero-capacity history, a NACK batch
+  /// larger than anything the history can serve, ...). Over-large derived
+  /// knobs are clamped to their anchors rather than rejected.
+  Status normalize() {
+    if (history_size == 0 || max_message == 0 || nack_batch == 0 ||
+        batch_count == 0 || batch_bytes == 0) {
+      return Status::bad_config;
+    }
+    if (max_outstanding < 1) max_outstanding = 1;
+    // A NACK (or a packed frame) can never usefully cover more messages
+    // than the history retains, nor more bytes than one message may hold.
+    if (nack_batch > history_size) {
+      nack_batch = static_cast<std::uint32_t>(history_size);
+    }
+    if (batch_count > history_size) batch_count = history_size;
+    if (batch_bytes > max_message) batch_bytes = max_message;
+    return Status::ok;
+  }
 };
 
 }  // namespace amoeba::group

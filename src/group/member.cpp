@@ -34,6 +34,9 @@ GroupMember::GroupMember(flip::FlipStack& flip, transport::Executor& exec,
       my_addr_(my_address),
       cfg_(config),
       cbs_(std::move(cbs)),
+      // Slack over the admission limit: system messages (join/leave/expel)
+      // may push the history past cfg.history_size before trimming.
+      history_(config.history_size + 64),
       detector_(exec,
                 FailureDetector::Callbacks{
                     .probe =
@@ -59,7 +62,8 @@ GroupMember::GroupMember(flip::FlipStack& flip, transport::Executor& exec,
                           ++stats_.expels_issued;
                           seq_issue_membership(MessageKind::expel, c);
                         },
-                }) {
+                }),
+      frame_cache_(std::max<std::size_t>(1, config.history_size)) {
   detector_.configure(config.status_poll, config.status_retries);
   flip_.register_endpoint(my_addr_, [this](flip::Address src, flip::Address,
                                            BufView bytes) {
@@ -87,6 +91,10 @@ void GroupMember::create_group(flip::Address group, StatusCb done) {
     done(Status::invalid_argument);
     return;
   }
+  if (const Status s = cfg_.normalize(); s != Status::ok) {
+    done(s);
+    return;
+  }
   gaddr_ = group;
   inc_ = 0;
   my_id_ = 0;
@@ -111,6 +119,10 @@ void GroupMember::create_group(flip::Address group, StatusCb done) {
 void GroupMember::join_group(flip::Address group, StatusCb done) {
   if (state_ != State::idle || !flip::is_group_address(group)) {
     done(Status::invalid_argument);
+    return;
+  }
+  if (const Status s = cfg_.normalize(); s != Status::ok) {
+    done(s);
     return;
   }
   gaddr_ = group;
@@ -250,6 +262,12 @@ const MemberInfo* GroupMember::find_member_by_addr(
 }
 
 void GroupMember::install_view(bool from_recovery) {
+  // A departed member's last heartbeat horizon must not linger: a stale
+  // lagging entry would keep matching its next (never-arriving) heartbeat
+  // and trigger spurious catch-up pushes toward a reused id.
+  std::erase_if(last_status_horizon_, [this](const auto& e) {
+    return find_member(e.first) == nullptr;
+  });
   GTRACE(view, .flags = from_recovery ? std::uint8_t{1} : std::uint8_t{0},
          .peer = seq_id_, .seq = next_deliver_,
          .msg_id = static_cast<std::uint32_t>(members_.size()),
@@ -279,6 +297,13 @@ void GroupMember::enter_failed(Status why) {
   exec_.cancel_timer(nack_timer_);
   nack_timer_ = transport::kInvalidTimer;
   detector_.reset();
+  // Discard (never flush) anything still batched: recovery rebuilds from
+  // the delivered prefix, and a half-flushed tail would leave survivors
+  // with inconsistent views of where the stream stopped.
+  batch_.clear();
+  pending_accepts_.clear();
+  batch_bytes_pending_ = 0;
+  frame_cache_.clear();
   auto outstanding = std::move(outs_);
   outs_.clear();
   for (Outgoing& o : outstanding) {
@@ -319,8 +344,10 @@ Duration GroupMember::dispatch_cost(const WireMsg& m) const {
     case WireType::data_pb:
     case WireType::data_bb:
       // Request processing at the sequencer: ordering work plus the
-      // per-member bookkeeping and the copy into the history buffer.
-      return c.group_sequence +
+      // per-member bookkeeping and the copy into the history buffer. The
+      // emission half (group_emit) is charged per broadcast frame at flush
+      // time, which is what lets packed frames amortize it.
+      return c.group_order +
              c.group_per_member * static_cast<std::int64_t>(members_.size()) +
              c.copy_time(m.payload.size(), c.seq_rx_copies);
     case WireType::seq_data:
@@ -330,6 +357,20 @@ Duration GroupMember::dispatch_cost(const WireMsg& m) const {
       return c.group_deliver + c.copy_time(m.payload.size(), c.recv_copies);
     case WireType::seq_accept:
       return c.group_deliver;
+    case WireType::seq_packed:
+      // One frame's fixed receive work plus the incremental unpack cost of
+      // each additional message it carries (the batching win: the fixed
+      // per-frame interrupt/header path is paid once).
+      return c.group_deliver +
+             c.group_unpack *
+                 static_cast<std::int64_t>(
+                     m.range_count > 0 ? m.range_count - 1 : 0) +
+             c.copy_time(m.payload.size(), c.recv_copies);
+    case WireType::seq_accept_range:
+      return c.group_deliver +
+             c.group_unpack *
+                 static_cast<std::int64_t>(
+                     m.range_count > 0 ? m.range_count - 1 : 0);
     case WireType::resil_ack:
       return c.group_ack;
     default:
@@ -359,10 +400,31 @@ void GroupMember::send_to_address(const flip::Address& to, WireMsg m) {
   flip_.send(to, my_addr_, encode_wire(m));
 }
 
-void GroupMember::multicast(WireMsg m) {
+BufView GroupMember::multicast(WireMsg m) {
   m.incarnation = inc_;
   if (trace_) trace_(true, m, exec_.now());
-  flip_.send(gaddr_, my_addr_, encode_wire(m));
+  BufView frame = encode_wire(m);
+  flip_.send(gaddr_, my_addr_, frame);  // lvalue: +1 ref, frame survives
+  return frame;
+}
+
+BufView GroupMember::multicast_packed(WireMsg header,
+                                      std::span<const AcceptRec> accepts,
+                                      std::span<const PackedEntry> entries) {
+  header.incarnation = inc_;
+  if (trace_) trace_(true, header, exec_.now());
+  BufView frame = encode_packed_wire(header, accepts, entries);
+  flip_.send(gaddr_, my_addr_, frame);
+  return frame;
+}
+
+BufView GroupMember::multicast_accept_range(WireMsg header,
+                                            std::span<const AcceptRec> recs) {
+  header.incarnation = inc_;
+  if (trace_) trace_(true, header, exec_.now());
+  BufView frame = encode_accept_range_wire(header, recs);
+  flip_.send(gaddr_, my_addr_, frame);
+  return frame;
 }
 
 void GroupMember::dispatch(const flip::Address& src, WireMsg m) {
@@ -405,8 +467,12 @@ void GroupMember::dispatch(const flip::Address& src, WireMsg m) {
   if (m.incarnation != inc_) return;
 
   // Piggybacked delivery horizon: the positive half of the protocol.
+  // Sequencer-emitted frames are excluded — their `sender`/`piggyback`
+  // describe the sequencer's own stream, not a member's delivery progress.
   if (i_am_sequencer() && m.sender != kInvalidMember &&
-      m.type != WireType::seq_data && m.type != WireType::seq_accept) {
+      m.type != WireType::seq_data && m.type != WireType::seq_accept &&
+      m.type != WireType::seq_packed &&
+      m.type != WireType::seq_accept_range) {
     seq_note_horizon(m.sender, m.piggyback);
   }
 
@@ -429,6 +495,12 @@ void GroupMember::dispatch(const flip::Address& src, WireMsg m) {
       break;
     case WireType::seq_accept:
       on_seq_accept(m);
+      break;
+    case WireType::seq_packed:
+      on_seq_packed(m);
+      break;
+    case WireType::seq_accept_range:
+      on_seq_accept_range(m);
       break;
     case WireType::resil_ack:
       if (i_am_sequencer()) seq_on_resil_ack(m);
@@ -722,6 +794,69 @@ void GroupMember::on_seq_accept(const WireMsg& m) {
   if (missing_anything()) schedule_nack();
 }
 
+void GroupMember::on_seq_packed(const WireMsg& m) {
+  std::vector<AcceptRec> accepts;
+  std::vector<PackedEntry> entries;
+  if (!decode_packed_payload(m, accepts, entries)) return;
+  // Data entries first, then the piggybacked accepts: a same-flush
+  // finalization (resilience satisfied before the batch flushed) must see
+  // its tentative entry registered before its accept lands, exactly as the
+  // unbatched tentative-then-accept frame pair would have.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    // A packed entry may change our own membership (expel) mid-frame.
+    if (state_ != State::running) return;
+    PackedEntry& e = entries[i];
+    WireMsg w;
+    w.incarnation = m.incarnation;
+    w.sender = e.sender;
+    w.msg_id = e.msg_id;
+    w.kind = e.kind;
+    w.seq = m.range_from + static_cast<SeqNum>(i);
+    w.piggyback = m.piggyback;
+    w.flags = e.flags & kFlagTentative;
+    if ((e.flags & kFlagAcceptOnly) != 0) {
+      // BB: the payload travelled with the sender's own multicast.
+      w.type = WireType::seq_accept;
+      on_seq_accept(w);
+    } else {
+      w.type = WireType::seq_data;
+      w.payload = std::move(e.payload);
+      on_seq_data(w);
+    }
+  }
+  for (const AcceptRec& a : accepts) {
+    if (state_ != State::running) return;
+    WireMsg w;
+    w.type = WireType::seq_accept;
+    w.incarnation = m.incarnation;
+    w.sender = a.sender;
+    w.msg_id = a.msg_id;
+    w.kind = a.kind;
+    w.seq = a.seq;
+    w.piggyback = m.piggyback;
+    w.flags = a.flags;
+    on_seq_accept(w);
+  }
+}
+
+void GroupMember::on_seq_accept_range(const WireMsg& m) {
+  std::vector<AcceptRec> recs;
+  if (!decode_accept_range_payload(m, recs)) return;
+  for (const AcceptRec& a : recs) {
+    if (state_ != State::running) return;
+    WireMsg w;
+    w.type = WireType::seq_accept;
+    w.incarnation = m.incarnation;
+    w.sender = a.sender;
+    w.msg_id = a.msg_id;
+    w.kind = a.kind;
+    w.seq = a.seq;
+    w.piggyback = m.piggyback;
+    w.flags = a.flags;
+    on_seq_accept(w);
+  }
+}
+
 void GroupMember::maybe_send_resil_ack(SeqNum seq, MemberId sender) {
   // "if its member identifier is lower than r, it sends an
   // acknowledgement" — excluding the sending kernel, whose copy is
@@ -766,7 +901,7 @@ void GroupMember::deliver(SeqNum seq, PendingMsg msg) {
   gm.data = std::move(msg.data);
 
   append_history(seq, msg);
-  history_.back().data = gm.data;  // share the payload with the app copy
+  history_.back()->data = gm.data;  // share the payload with the app copy
 
   ++stats_.messages_delivered;
   GTRACE(deliver, .mkind = gm.kind, .peer = gm.sender, .seq = seq,
@@ -797,12 +932,19 @@ void GroupMember::append_history(SeqNum seq, const PendingMsg& msg) {
   h.sender = msg.sender;
   h.kind = msg.kind;
   h.sender_msg_id = msg.msg_id;
-  history_.push_back(std::move(h));
+  if (history_.full()) {
+    // The slack over cfg.history_size filled too (sustained system-message
+    // overshoot): evict the oldest entry rather than losing the newest.
+    history_.try_pop();
+    ++hist_base_;
+    ++stats_.history_evictions;
+  }
+  history_.try_push(std::move(h));
   // Non-sequencer members keep a bounded ring purely for recovery; the
   // sequencer's copy is trimmed by the piggybacked horizons instead.
   if (!i_am_sequencer()) {
     while (history_.size() > cfg_.history_size) {
-      history_.pop_front();
+      history_.try_pop();
       ++hist_base_;
     }
   }
@@ -942,6 +1084,13 @@ void GroupMember::apply_membership(const GroupMessage& msg) {
         history_.clear();
         fc_granted_.clear();
         fc_queue_.clear();
+        // Heartbeat horizons and cached frames belong to the previous
+        // regime; a stale lagging entry must not trigger catch-up pushes.
+        last_status_horizon_.clear();
+        frame_cache_.clear();
+        batch_.clear();
+        pending_accepts_.clear();
+        batch_bytes_pending_ = 0;
       }
       if (change->member == my_id_) {
         // We were the old sequencer: the transfer is complete.
@@ -1008,6 +1157,11 @@ void GroupMember::apply_membership(const GroupMessage& msg) {
           history_.clear();
           fc_granted_.clear();
           fc_queue_.clear();
+          last_status_horizon_.clear();
+          frame_cache_.clear();
+          batch_.clear();
+          pending_accepts_.clear();
+          batch_bytes_pending_ = 0;
         }
       } else if (i_am_sequencer()) {
         // A member left: its horizon no longer constrains the history, and
@@ -1036,6 +1190,7 @@ std::string GroupMember::describe(const WireMsg& msg) {
       "status_req",  "status_rep",   "join_req",      "join_snapshot",
       "leave_req",   "reset_invite", "reset_vote",    "reset_retrieve",
       "reset_missing", "reset_result", "fc_rts",      "fc_cts",
+      "seq_packed",  "seq_accept_range",
   };
   const auto t = static_cast<std::size_t>(msg.type);
   char buf[160];

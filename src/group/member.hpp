@@ -29,6 +29,7 @@
 #include "check/trace.hpp"
 #include "common/relaxed_counter.hpp"
 #include "common/result.hpp"
+#include "common/ring_buffer.hpp"
 #include "flip/stack.hpp"
 #include "group/config.hpp"
 #include "group/failure_detector.hpp"
@@ -66,6 +67,13 @@ struct GroupStats {
   RelaxedCounter join_retries_fired;  // join_req re-broadcast
   RelaxedCounter congestion_resets;   // retry counter reset: group alive
   RelaxedCounter send_budget_exhausted;  // send failed retry_exhausted
+  // Sequencer batching / retransmit-cache observability.
+  RelaxedCounter batch_frames_emitted;    // seq_packed frames multicast
+  RelaxedCounter batch_messages_packed;   // messages carried by those frames
+  RelaxedCounter accept_ranges_emitted;   // seq_accept_range frames multicast
+  RelaxedCounter retransmit_cache_hits;   // NACKs served from cached frames
+  RelaxedCounter retransmit_payload_encodes;  // NACKs that had to re-encode
+  RelaxedCounter history_evictions;  // ring overwrote its oldest entry
 };
 
 class GroupMember {
@@ -161,7 +169,13 @@ class GroupMember {
   void dispatch(const flip::Address& src, WireMsg m);
   void send_to_sequencer(WireMsg m);
   void send_to_address(const flip::Address& to, WireMsg m);
-  void multicast(WireMsg m);
+  /// Encode once, broadcast, and return the wire frame so the sequencer
+  /// can cache the exact bytes for O(1) retransmission.
+  BufView multicast(WireMsg m);
+  BufView multicast_packed(WireMsg header, std::span<const AcceptRec> accepts,
+                           std::span<const PackedEntry> entries);
+  BufView multicast_accept_range(WireMsg header,
+                                 std::span<const AcceptRec> recs);
   Duration dispatch_cost(const WireMsg& m) const;
 
   // --- Sender side ------------------------------------------------------------
@@ -193,6 +207,10 @@ class GroupMember {
   }
   void on_seq_data(const WireMsg& m);
   void on_seq_accept(const WireMsg& m);
+  /// Unpack a batched frame into the per-message events the unbatched
+  /// frames would have produced (in seq order: data entries, then accepts).
+  void on_seq_packed(const WireMsg& m);
+  void on_seq_accept_range(const WireMsg& m);
   void maybe_send_resil_ack(SeqNum seq, MemberId sender);
   void drain_deliverable();
   void deliver(SeqNum seq, PendingMsg msg);
@@ -217,6 +235,14 @@ class GroupMember {
                   BufView data, bool via_bb);
   void seq_on_resil_ack(const WireMsg& m);
   void seq_finalize(SeqNum seq);
+  // Batching: stamped messages and accepts accumulate and are flushed as
+  // one packed frame once the batch fills or the CPU backlog drains.
+  void seq_schedule_flush();
+  void seq_flush_emit();
+  /// Emit anything still batched (role hand-off / recovery boundaries).
+  void seq_drain_pending();
+  void seq_cache_store(SeqNum seq, WireMsg meta, BufView frame, bool has_frame,
+                       bool tentative_form);
   void seq_tentative_sweep();
   void seq_catch_up(MemberId member, SeqNum from);
   void seq_on_nack(const WireMsg& m);
@@ -281,7 +307,12 @@ class GroupMember {
   SeqNum next_deliver_{0};
   std::map<SeqNum, PendingMsg> ooo_;
   std::map<std::pair<MemberId, std::uint32_t>, BufView> bb_stash_;
-  std::deque<GroupMessage> history_;  // contiguous; front has seq hist_base_
+  /// Contiguous delivered suffix; front has seq hist_base_. Ring-buffered
+  /// so appends and trims are O(1) with no steady-state allocation. Sized
+  /// with slack over cfg.history_size because system messages may overshoot
+  /// the admission limit; when even the slack fills, the oldest entry is
+  /// evicted (observable via stats_.history_evictions).
+  RingBuffer<GroupMessage> history_;
   SeqNum hist_base_{0};
   transport::TimerId nack_timer_{transport::kInvalidTimer};
   int nack_attempts_{0};
@@ -362,6 +393,40 @@ class GroupMember {
   std::set<MemberId> pending_leaves_;
   bool handoff_issued_{false};
   transport::TimerId tentative_sweep_timer_{transport::kInvalidTimer};
+
+  // Sequencer batching. Stamped-but-not-yet-multicast messages and pending
+  // accepts; flushed inline when the batch fills (or a system message needs
+  // immediate emission) and otherwise by a zero-delay event that lands
+  // after the CPU backlog — so batching adds no latency when the sequencer
+  // is idle and packs exactly the backlog when it is busy.
+  struct PendingStamp {
+    SeqNum seq{0};
+    MemberId sender{kInvalidMember};
+    std::uint32_t msg_id{0};
+    MessageKind kind{MessageKind::app};
+    std::uint8_t flags{0};     // kFlagTentative when resilience > 0
+    bool accept_only{false};   // BB: payload travelled with the multicast
+    BufView payload;
+  };
+  std::vector<PendingStamp> batch_;
+  std::size_t batch_bytes_pending_{0};
+  std::vector<AcceptRec> pending_accepts_;
+  bool flush_scheduled_{false};
+
+  /// O(1) retransmit cache: the exact pre-encoded wire frame for each
+  /// history seq, aligned with the history window (cache_base_ = seq of
+  /// slot 0). Serving a NACK is an index plus a resend — zero re-encodes.
+  /// `meta` feeds the trace hook; entries without a frame (BB accept-only)
+  /// or whose cached form is stale (tentative frame after finalization)
+  /// fall back to the encoding path, which refreshes the cache.
+  struct CachedFrame {
+    WireMsg meta;
+    BufView frame;
+    bool has_frame{false};
+    bool tentative_form{false};
+  };
+  RingBuffer<CachedFrame> frame_cache_;
+  SeqNum cache_base_{0};
 
   // Recovery.
   struct Recovery {

@@ -1,5 +1,8 @@
 #include "group/message.hpp"
 
+#include <cassert>
+#include <cstring>
+
 #include "flip/wire.hpp"
 
 namespace amoeba::group {
@@ -13,9 +16,10 @@ constexpr std::size_t kFixedFields = 43;
 static_assert(kFixedFields <= kHeaderBytes);
 }  // namespace
 
-BufView encode_wire(const WireMsg& m) {
-  SharedBuffer buf = SharedBuffer::allocate(kHeaderBytes + m.payload.size());
-  std::uint8_t* p = buf.data();
+namespace {
+/// Write the fixed 60-byte header; the caller fills the payload bytes.
+void write_header(std::uint8_t* p, const WireMsg& m,
+                  std::size_t payload_len) {
   p[0] = static_cast<std::uint8_t>(m.type);
   store_le32(p + 1, m.incarnation);
   store_le32(p + 5, m.sender);
@@ -27,8 +31,15 @@ BufView encode_wire(const WireMsg& m) {
   store_le32(p + 23, m.range_from);
   store_le32(p + 27, m.range_count);
   store_le64(p + 31, m.addr.id);
-  store_le32(p + 39, static_cast<std::uint32_t>(m.payload.size()));
+  store_le32(p + 39, static_cast<std::uint32_t>(payload_len));
   std::memset(p + kFixedFields, 0, kHeaderBytes - kFixedFields);
+}
+}  // namespace
+
+BufView encode_wire(const WireMsg& m) {
+  SharedBuffer buf = SharedBuffer::allocate(kHeaderBytes + m.payload.size());
+  std::uint8_t* p = buf.data();
+  write_header(p, m, m.payload.size());
   if (!m.payload.empty()) {
     std::memcpy(p + kHeaderBytes, m.payload.data(), m.payload.size());
   }
@@ -55,13 +66,156 @@ std::optional<WireMsg> decode_wire(BufView bytes) {
   const std::uint32_t payload_len = load_le32(p + 39);
   if (bytes.size() - kHeaderBytes != payload_len) return std::nullopt;
   const auto t = static_cast<std::uint8_t>(m.type);
-  if (t < 1 || t > static_cast<std::uint8_t>(WireType::fc_cts)) {
+  if (t < 1 || t > static_cast<std::uint8_t>(WireType::seq_accept_range)) {
     return std::nullopt;
   }
   // Zero-copy: the payload is a slice of the datagram, and the steal keeps
   // this off the atomic refcount.
   m.payload = std::move(bytes).subview(kHeaderBytes, payload_len);
   return m;
+}
+
+// --- Batched sequencer frames ---------------------------------------------
+//
+// seq_packed payload layout (all little-endian):
+//   u32 accept_count
+//   accept_count x { u32 seq, u32 sender, u32 msg_id, u8 kind, u8 flags }
+//   range_count  x { u32 sender, u32 msg_id, u32 payload_len, u8 kind,
+//                    u8 flags, payload_len bytes }
+// Entry seqs are implicit: header.range_from + index. seq_accept_range
+// payload is simply count x { u32 sender, u32 msg_id, u8 kind, u8 flags }.
+
+namespace {
+constexpr std::size_t kAcceptRecBytes = 14;
+constexpr std::size_t kPackedEntryHeadBytes = 14;
+constexpr std::size_t kRangeRecBytes = 10;
+/// Sanity bound on decoded counts (far above any real frame; a packed
+/// frame is bounded by batch_count and the datagram size anyway).
+constexpr std::uint32_t kMaxBatchRecords = 4096;
+}  // namespace
+
+BufView encode_packed_wire(const WireMsg& header,
+                           std::span<const AcceptRec> accepts,
+                           std::span<const PackedEntry> entries) {
+  assert(header.type == WireType::seq_packed);
+  assert(header.range_count == entries.size());
+  std::size_t payload = 4 + accepts.size() * kAcceptRecBytes;
+  for (const PackedEntry& e : entries) {
+    payload += kPackedEntryHeadBytes + e.payload.size();
+  }
+  SharedBuffer buf = SharedBuffer::allocate(kHeaderBytes + payload);
+  std::uint8_t* p = buf.data();
+  write_header(p, header, payload);
+  p += kHeaderBytes;
+  store_le32(p, static_cast<std::uint32_t>(accepts.size()));
+  p += 4;
+  for (const AcceptRec& a : accepts) {
+    store_le32(p, a.seq);
+    store_le32(p + 4, a.sender);
+    store_le32(p + 8, a.msg_id);
+    p[12] = static_cast<std::uint8_t>(a.kind);
+    p[13] = a.flags;
+    p += kAcceptRecBytes;
+  }
+  for (const PackedEntry& e : entries) {
+    store_le32(p, e.sender);
+    store_le32(p + 4, e.msg_id);
+    store_le32(p + 8, static_cast<std::uint32_t>(e.payload.size()));
+    p[12] = static_cast<std::uint8_t>(e.kind);
+    p[13] = e.flags;
+    p += kPackedEntryHeadBytes;
+    if (!e.payload.empty()) {
+      std::memcpy(p, e.payload.data(), e.payload.size());
+      p += e.payload.size();
+    }
+  }
+  return buf;
+}
+
+bool decode_packed_payload(const WireMsg& m, std::vector<AcceptRec>& accepts,
+                           std::vector<PackedEntry>& entries) {
+  accepts.clear();
+  entries.clear();
+  if (m.range_count == 0 || m.range_count > kMaxBatchRecords) return false;
+  const BufView& pl = m.payload;
+  const std::uint8_t* p = pl.data();
+  std::size_t left = pl.size();
+  if (left < 4) return false;
+  const std::uint32_t n_acc = load_le32(p);
+  p += 4;
+  left -= 4;
+  if (n_acc > kMaxBatchRecords) return false;
+  if (left < n_acc * kAcceptRecBytes) return false;
+  accepts.reserve(n_acc);
+  for (std::uint32_t i = 0; i < n_acc; ++i) {
+    AcceptRec a;
+    a.seq = load_le32(p);
+    a.sender = load_le32(p + 4);
+    a.msg_id = load_le32(p + 8);
+    a.kind = static_cast<MessageKind>(p[12]);
+    a.flags = p[13];
+    accepts.push_back(a);
+    p += kAcceptRecBytes;
+    left -= kAcceptRecBytes;
+  }
+  entries.reserve(m.range_count);
+  for (std::uint32_t i = 0; i < m.range_count; ++i) {
+    if (left < kPackedEntryHeadBytes) return false;
+    PackedEntry e;
+    e.sender = load_le32(p);
+    e.msg_id = load_le32(p + 4);
+    const std::uint32_t len = load_le32(p + 8);
+    e.kind = static_cast<MessageKind>(p[12]);
+    e.flags = p[13];
+    p += kPackedEntryHeadBytes;
+    left -= kPackedEntryHeadBytes;
+    if (left < len) return false;
+    // Zero-copy: the entry payload is a slice of the datagram's backing.
+    e.payload = pl.subview(static_cast<std::size_t>(p - pl.data()), len);
+    p += len;
+    left -= len;
+    entries.push_back(std::move(e));
+  }
+  return left == 0;  // trailing garbage is a malformed frame
+}
+
+BufView encode_accept_range_wire(const WireMsg& header,
+                                 std::span<const AcceptRec> recs) {
+  assert(header.type == WireType::seq_accept_range);
+  assert(header.range_count == recs.size());
+  const std::size_t payload = recs.size() * kRangeRecBytes;
+  SharedBuffer buf = SharedBuffer::allocate(kHeaderBytes + payload);
+  std::uint8_t* p = buf.data();
+  write_header(p, header, payload);
+  p += kHeaderBytes;
+  for (const AcceptRec& a : recs) {
+    store_le32(p, a.sender);
+    store_le32(p + 4, a.msg_id);
+    p[8] = static_cast<std::uint8_t>(a.kind);
+    p[9] = a.flags;
+    p += kRangeRecBytes;
+  }
+  return buf;
+}
+
+bool decode_accept_range_payload(const WireMsg& m,
+                                 std::vector<AcceptRec>& recs) {
+  recs.clear();
+  if (m.range_count == 0 || m.range_count > kMaxBatchRecords) return false;
+  if (m.payload.size() != m.range_count * kRangeRecBytes) return false;
+  const std::uint8_t* p = m.payload.data();
+  recs.reserve(m.range_count);
+  for (std::uint32_t i = 0; i < m.range_count; ++i) {
+    AcceptRec a;
+    a.seq = m.range_from + i;
+    a.sender = load_le32(p);
+    a.msg_id = load_le32(p + 4);
+    a.kind = static_cast<MessageKind>(p[8]);
+    a.flags = p[9];
+    recs.push_back(a);
+    p += kRangeRecBytes;
+  }
+  return true;
 }
 
 Buffer encode_snapshot(const Snapshot& s) {

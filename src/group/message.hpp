@@ -51,10 +51,15 @@ enum class WireType : std::uint8_t {
   reset_result,   // coordinator -> group: new view installed
   fc_rts,         // sender -> sequencer: request slot for a large message
   fc_cts,         // sequencer -> sender: slot granted, transmit
+  seq_packed,     // sequencer -> group: several consecutive stamped messages
+  seq_accept_range,  // sequencer -> group: accepts for [range_from, +count)
 };
 
 /// Flag bits in WireMsg::flags.
 constexpr std::uint8_t kFlagTentative = 0x01;  // resilience: not yet stable
+/// Packed-entry flag: the payload travelled with the sender's BB multicast,
+/// so this entry is a short accept (payload_len 0), not a data message.
+constexpr std::uint8_t kFlagAcceptOnly = 0x02;
 
 struct WireMsg {
   WireType type{WireType::data_pb};
@@ -87,6 +92,63 @@ BufView encode_wire(const WireMsg& m);
 /// payload is a sub-view of `bytes` (zero-copy) — pass an rvalue to hand
 /// over the reference without touching the refcount.
 std::optional<WireMsg> decode_wire(BufView bytes);
+
+// --- Batched sequencer frames (seq_packed / seq_accept_range) -------------
+//
+// seq_packed carries `range_count` consecutive stamped messages whose
+// sequence numbers start at the header's `range_from` (each entry's seq is
+// implicit), preceded by any accepts the sequencer had pending (explicit
+// seqs — finalization order need not be contiguous). seq_accept_range
+// carries accepts for the consecutive run [range_from, range_from + count).
+// Receivers unpack both into the exact per-message events the unbatched
+// seq_data / seq_accept frames would have produced, so every downstream
+// invariant (and the conformance oracle) is untouched by batching.
+
+/// One data message inside a seq_packed frame. Its seq is implicit:
+/// header.range_from + its index. kFlagAcceptOnly marks a BB message whose
+/// payload travelled with the sender's multicast (payload empty here).
+struct PackedEntry {
+  MemberId sender{kInvalidMember};
+  std::uint32_t msg_id{0};
+  MessageKind kind{MessageKind::app};
+  std::uint8_t flags{0};  // kFlagTentative | kFlagAcceptOnly
+  BufView payload;
+};
+
+/// One accept, either piggybacked on a seq_packed frame (explicit seq) or
+/// part of a seq_accept_range run (seq implied by position; filled in by
+/// the decoder).
+struct AcceptRec {
+  SeqNum seq{0};
+  MemberId sender{kInvalidMember};
+  std::uint32_t msg_id{0};
+  MessageKind kind{MessageKind::app};
+  std::uint8_t flags{0};
+};
+
+/// Encode a full seq_packed wire frame in one allocation (header + accept
+/// section + entries; every payload byte is written exactly once).
+/// `header.type` must be seq_packed and `header.range_count` must equal
+/// `entries.size()`; `header.range_from` names the first entry's seq.
+BufView encode_packed_wire(const WireMsg& header,
+                           std::span<const AcceptRec> accepts,
+                           std::span<const PackedEntry> entries);
+/// Parse a decoded seq_packed message's payload. Entry payloads alias the
+/// datagram (zero-copy); accept seqs are explicit in the encoding. Returns
+/// false on any malformed input: truncated sections, counts that disagree
+/// with the header or the payload length, or trailing garbage.
+bool decode_packed_payload(const WireMsg& m, std::vector<AcceptRec>& accepts,
+                           std::vector<PackedEntry>& entries);
+
+/// Encode a seq_accept_range frame. `recs` must be ordered, consecutive in
+/// seq, and match header.range_from/range_count (seqs are implicit on the
+/// wire).
+BufView encode_accept_range_wire(const WireMsg& header,
+                                 std::span<const AcceptRec> recs);
+/// Parse a decoded seq_accept_range payload; fills each rec's seq from
+/// header.range_from + index. False on length/count mismatch.
+bool decode_accept_range_payload(const WireMsg& m,
+                                 std::vector<AcceptRec>& recs);
 
 // --- Structured payload helpers ------------------------------------------
 

@@ -61,6 +61,11 @@ void GroupMember::reset_group(std::uint32_t min_size, ResetCb done) {
   }
 
   ++stats_.resets_started;
+  // If we are still the running sequencer, emit anything stamped but not
+  // yet multicast: our vote must describe a stream whose tail was actually
+  // offered to the group, or recovery would rebuild short of seqs we
+  // already promised to senders.
+  if (state_ == State::running && i_am_sequencer()) seq_drain_pending();
   detector_.reset();
   exec_.cancel_timer(nack_timer_);
   nack_timer_ = transport::kInvalidTimer;
@@ -164,6 +169,9 @@ void GroupMember::on_reset_invite(const flip::Address&, const WireMsg& m) {
     r.coord_addr = m.addr;
     recovery_ = std::move(r);
   }
+  // Same drain as reset_group: a still-running sequencer flushes its
+  // batch before yielding into a voter.
+  if (state_ == State::running && i_am_sequencer()) seq_drain_pending();
   state_ = State::recovering;
   GTRACE_AT_INC(reset_start, recovery_->incarnation,
                 .peer = recovery_->coord_id);
@@ -323,7 +331,7 @@ void GroupMember::on_reset_retrieve(const flip::Address& src,
     rm.seq = s;
     if (seq_ge(s, hist_base_) &&
         seq_lt(s, hist_base_ + static_cast<SeqNum>(history_.size()))) {
-      const GroupMessage& h = history_[s - hist_base_];
+      const GroupMessage& h = history_.at(s - hist_base_);
       rm.sender = h.sender;
       rm.kind = h.kind;
       rm.msg_id = h.sender_msg_id;
@@ -391,6 +399,14 @@ void GroupMember::coord_finish() {
   fc_granted_.clear();
   fc_queue_.clear();
   handoff_issued_ = false;
+  // Previous-regime sequencer leftovers: heartbeat horizons, pre-encoded
+  // frames, and any batch we (or the old sequencer) never flushed are all
+  // meaningless under the new incarnation.
+  last_status_horizon_.clear();
+  frame_cache_.clear();
+  batch_.clear();
+  pending_accepts_.clear();
+  batch_bytes_pending_ = 0;
   state_ = State::running;
 
   // Promote the rebuilt stream: everything in [next_deliver_, target) is
@@ -428,7 +444,8 @@ void GroupMember::coord_finish() {
 
   // Prime duplicate suppression from the recovered history so a survivor
   // re-sending its in-flight message does not get it ordered twice.
-  for (const GroupMessage& h : history_) {
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const GroupMessage& h = history_.at(i);
     if (h.kind == MessageKind::app && h.sender != kInvalidMember) {
       SenderState& ss = sender_state_[h.sender];
       ss.recent.emplace(h.sender_msg_id, h.seq);
@@ -510,6 +527,13 @@ void GroupMember::on_reset_result(const WireMsg& m) {
   sender_state_.clear();
   bb_stash_.clear();
   handoff_issued_ = false;
+  // We are not the new sequencer; drop any sequencer leftovers from the
+  // old regime so a later takeover starts clean.
+  last_status_horizon_.clear();
+  frame_cache_.clear();
+  batch_.clear();
+  pending_accepts_.clear();
+  batch_bytes_pending_ = 0;
 
   // The rebuilt stream ends (exclusively) at next_seq: promote what we
   // buffered below it, discard what was above it, and NACK the rest from

@@ -14,6 +14,13 @@
 
 namespace amoeba::group {
 
+namespace {
+/// Per-entry wire overhead inside a seq_packed frame (sender, msg_id,
+/// payload_len, kind, flags) — mirrors the codec's entry head in
+/// message.cpp; used for the batch_bytes budget.
+constexpr std::size_t kPackedEntryOverhead = 14;
+}  // namespace
+
 void GroupMember::seq_on_request(const flip::Address&, WireMsg m,
                                  bool via_bb) {
   seq_note_horizon(m.sender, m.piggyback);
@@ -102,13 +109,21 @@ bool GroupMember::seq_assign(MemberId sender, std::uint32_t msg_id,
   // The sequencer's re-emit copy: history buffer -> Lance for the broadcast.
   exec_.charge(exec_.costs().copy_time(data.size(), exec_.costs().seq_tx_copies));
 
-  WireMsg bc;
-  bc.seq = s;
-  bc.sender = sender;
-  bc.msg_id = msg_id;
-  bc.kind = kind;
-  bc.piggyback = next_deliver_;
+  // Batching: the stamped message joins the pending frame instead of being
+  // multicast immediately. The flush below (inline when the batch fills or
+  // the message is a membership event; otherwise a zero-delay event that
+  // lands behind the current CPU backlog) packs everything stamped in the
+  // meantime into one frame — so an idle sequencer still emits per-message
+  // with unchanged timing, and a busy one amortizes the emission cost over
+  // exactly its backlog.
+  PendingStamp ps;
+  ps.seq = s;
+  ps.sender = sender;
+  ps.msg_id = msg_id;
+  ps.kind = kind;
+  ps.accept_only = via_bb;  // BB: data travelled with the sender's multicast
 
+  bool none_needed = false;
   if (cfg_.resilience > 0 && app) {
     Tentative t;
     t.msg.sender = sender;
@@ -118,32 +133,26 @@ bool GroupMember::seq_assign(MemberId sender, std::uint32_t msg_id,
     t.msg.have_data = true;
     t.awaiting = resil_ackers(sender);
     t.created = exec_.now();
-    const bool none_needed = t.awaiting.empty();
+    none_needed = t.awaiting.empty();
     tentative_.emplace(s, std::move(t));
     if (tentative_sweep_timer_ == transport::kInvalidTimer) {
       tentative_sweep_timer_ = exec_.set_timer(
           cfg_.send_retry / 2, [this] { seq_tentative_sweep(); });
     }
-    bc.flags = kFlagTentative;
-    if (via_bb) {
-      bc.type = WireType::seq_accept;  // data travelled with the BB send
-    } else {
-      bc.type = WireType::seq_data;
-      bc.payload = std::move(data);
-    }
-    multicast(std::move(bc));
-    if (none_needed) seq_finalize(s);
+    ps.flags = kFlagTentative;
+  }
+  if (!via_bb) ps.payload = std::move(data);
+  batch_bytes_pending_ += kPackedEntryOverhead + ps.payload.size();
+  batch_.push_back(std::move(ps));
+  // Resilience satisfied immediately (no acker ranks below r): the final
+  // accept rides the same frame as the tentative entry.
+  if (none_needed) seq_finalize(s);
+
+  if (!app || batch_.size() >= cfg_.batch_count ||
+      batch_bytes_pending_ >= cfg_.batch_bytes) {
+    seq_flush_emit();  // membership events and full batches go out now
   } else {
-    if (via_bb) {
-      bc.type = WireType::seq_accept;
-      // Keep the payload for retransmission service until local delivery
-      // (through the loopback + stash) lands it in the history buffer.
-      multicast(std::move(bc));
-    } else {
-      bc.type = WireType::seq_data;
-      bc.payload = std::move(data);
-      multicast(std::move(bc));
-    }
+    seq_schedule_flush();
   }
 
   if (span + 1 >= cfg_.history_size * 3 / 4) seq_check_laggards();
@@ -176,15 +185,208 @@ void GroupMember::seq_finalize(SeqNum seq) {
   if (it == tentative_.end()) return;
   Tentative t = std::move(it->second);
   tentative_.erase(it);
-  // The short accept: members (and our own loopback) may now deliver.
-  WireMsg acc;
-  acc.type = WireType::seq_accept;
-  acc.seq = seq;
-  acc.sender = t.msg.sender;
-  acc.msg_id = t.msg.msg_id;
-  acc.kind = t.msg.kind;
-  acc.piggyback = next_deliver_;
-  multicast(std::move(acc));
+  // The short accept: members (and our own loopback) may now deliver. It
+  // piggybacks on the next packed data frame when one is pending;
+  // otherwise consecutive accepts coalesce into one seq_accept_range.
+  AcceptRec a;
+  a.seq = seq;
+  a.sender = t.msg.sender;
+  a.msg_id = t.msg.msg_id;
+  a.kind = t.msg.kind;
+  a.flags = 0;
+  pending_accepts_.push_back(a);
+  seq_schedule_flush();
+}
+
+void GroupMember::seq_schedule_flush() {
+  if (flush_scheduled_) return;
+  flush_scheduled_ = true;
+  // Zero added delay: the event fires at the same virtual time, but only
+  // after every frame already buffered in the receive ring has been
+  // dispatched — which is exactly the backlog the frame should pack. With
+  // no backlog it degrades to an immediate post, so a lone message pays
+  // nothing.
+  exec_.post_idle([this] {
+    flush_scheduled_ = false;
+    // The role may have moved (hand-off, failure) since scheduling; the
+    // takeover/failure paths already discarded the batch.
+    if (state_ != State::running || !i_am_sequencer()) return;
+    seq_flush_emit();
+  });
+}
+
+void GroupMember::seq_drain_pending() {
+  if (batch_.empty() && pending_accepts_.empty()) return;
+  seq_flush_emit();
+}
+
+void GroupMember::seq_flush_emit() {
+  if (batch_.empty() && pending_accepts_.empty()) return;
+  std::vector<PendingStamp> batch = std::move(batch_);
+  batch_.clear();
+  std::vector<AcceptRec> accepts = std::move(pending_accepts_);
+  pending_accepts_.clear();
+  batch_bytes_pending_ = 0;
+  const auto& costs = exec_.costs();
+
+  if (batch.empty()) {
+    // Accepts only. Finalization order need not be contiguous (acks race),
+    // so sort and emit each consecutive run as one range frame; a run of
+    // one is the seed's plain seq_accept.
+    std::sort(accepts.begin(), accepts.end(),
+              [](const AcceptRec& x, const AcceptRec& y) {
+                return seq_lt(x.seq, y.seq);
+              });
+    std::size_t i = 0;
+    while (i < accepts.size()) {
+      std::size_t j = i + 1;
+      while (j < accepts.size() && accepts[j].seq == accepts[j - 1].seq + 1) {
+        ++j;
+      }
+      exec_.charge(costs.group_emit);
+      if (j - i == 1) {
+        const AcceptRec& a = accepts[i];
+        WireMsg acc;
+        acc.type = WireType::seq_accept;
+        acc.seq = a.seq;
+        acc.sender = a.sender;
+        acc.msg_id = a.msg_id;
+        acc.kind = a.kind;
+        acc.flags = a.flags;
+        acc.piggyback = next_deliver_;
+        multicast(std::move(acc));
+      } else {
+        WireMsg h;
+        h.type = WireType::seq_accept_range;
+        h.seq = accepts[i].seq;
+        h.range_from = accepts[i].seq;
+        h.range_count = static_cast<std::uint32_t>(j - i);
+        h.piggyback = next_deliver_;
+        ++stats_.accept_ranges_emitted;
+        multicast_accept_range(
+            h, std::span<const AcceptRec>(accepts).subspan(i, j - i));
+      }
+      i = j;
+    }
+    return;
+  }
+
+  // Data frames. The batch is consecutive in seq (stamped in arrival
+  // order), so chunk greedily under the count/byte budgets; the first
+  // frame carries every pending accept. An oversize message gets a frame
+  // of its own (the first entry of a chunk is always admitted).
+  std::vector<PackedEntry> entries;
+  std::size_t i = 0;
+  bool first = true;
+  while (i < batch.size()) {
+    std::size_t bytes = 4 + (first ? accepts.size() * kPackedEntryOverhead : 0);
+    std::size_t j = i;
+    while (j < batch.size() && (j - i) < cfg_.batch_count) {
+      const std::size_t need = kPackedEntryOverhead + batch[j].payload.size();
+      if (j > i && bytes + need > cfg_.batch_bytes) break;
+      bytes += need;
+      ++j;
+    }
+    const std::span<const AcceptRec> frame_accepts =
+        first ? std::span<const AcceptRec>(accepts)
+              : std::span<const AcceptRec>();
+    first = false;
+    exec_.charge(costs.group_emit);
+
+    if (j - i == 1 && frame_accepts.empty()) {
+      // Singleton with nothing to piggyback: emit the seed's unbatched
+      // wire frame, bit-identical to batch_count = 1.
+      PendingStamp& e = batch[i];
+      WireMsg meta;
+      meta.type = WireType::retransmit;
+      meta.seq = e.seq;
+      meta.sender = e.sender;
+      meta.msg_id = e.msg_id;
+      meta.kind = e.kind;
+      meta.flags = e.flags;
+      WireMsg bc;
+      bc.seq = e.seq;
+      bc.sender = e.sender;
+      bc.msg_id = e.msg_id;
+      bc.kind = e.kind;
+      bc.flags = e.flags;
+      bc.piggyback = next_deliver_;
+      BufView frame;
+      if (e.accept_only) {
+        bc.type = WireType::seq_accept;
+        frame = multicast(std::move(bc));
+        // No payload in the frame: NACKs for this seq take the encoding
+        // fallback (which caches the full retransmit it builds).
+        seq_cache_store(e.seq, std::move(meta), BufView(), false, false);
+      } else {
+        bc.type = WireType::seq_data;
+        bc.payload = std::move(e.payload);
+        frame = multicast(std::move(bc));
+        seq_cache_store(e.seq, std::move(meta), std::move(frame), true,
+                        (e.flags & kFlagTentative) != 0);
+      }
+    } else {
+      entries.clear();
+      entries.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        PackedEntry pe;
+        pe.sender = batch[k].sender;
+        pe.msg_id = batch[k].msg_id;
+        pe.kind = batch[k].kind;
+        pe.flags = static_cast<std::uint8_t>(
+            batch[k].flags | (batch[k].accept_only ? kFlagAcceptOnly : 0));
+        pe.payload = batch[k].payload;
+        entries.push_back(std::move(pe));
+      }
+      WireMsg h;
+      h.type = WireType::seq_packed;
+      h.seq = batch[i].seq;
+      h.range_from = batch[i].seq;
+      h.range_count = static_cast<std::uint32_t>(j - i);
+      h.piggyback = next_deliver_;
+      ++stats_.batch_frames_emitted;
+      stats_.batch_messages_packed += j - i;
+      BufView frame = multicast_packed(h, frame_accepts, entries);
+      for (std::size_t k = i; k < j; ++k) {
+        const PendingStamp& e = batch[k];
+        WireMsg meta;
+        meta.type = WireType::retransmit;
+        meta.seq = e.seq;
+        meta.sender = e.sender;
+        meta.msg_id = e.msg_id;
+        meta.kind = e.kind;
+        meta.flags = e.flags;
+        // Accept-only entries carry no payload, so the cached frame
+        // cannot serve a member that missed the BB data itself.
+        seq_cache_store(e.seq, std::move(meta), frame, !e.accept_only,
+                        (e.flags & kFlagTentative) != 0);
+      }
+    }
+    i = j;
+  }
+}
+
+void GroupMember::seq_cache_store(SeqNum seq, WireMsg meta, BufView frame,
+                                  bool has_frame, bool tentative_form) {
+  // The cache mirrors a contiguous run of broadcast seqs; any
+  // discontinuity (role takeover, recovery) restarts it at `seq`.
+  if (frame_cache_.empty()) {
+    cache_base_ = seq;
+  } else if (seq !=
+             cache_base_ + static_cast<SeqNum>(frame_cache_.size())) {
+    frame_cache_.clear();
+    cache_base_ = seq;
+  }
+  if (frame_cache_.full()) {
+    frame_cache_.try_pop();
+    ++cache_base_;
+  }
+  CachedFrame e;
+  e.meta = std::move(meta);
+  e.frame = std::move(frame);
+  e.has_frame = has_frame;
+  e.tentative_form = tentative_form;
+  frame_cache_.try_push(std::move(e));
 }
 
 void GroupMember::seq_tentative_sweep() {
@@ -235,6 +437,28 @@ void GroupMember::seq_serve_retransmit(MemberId to, SeqNum seq) {
     target = dep->second.first;
   }
 
+  // O(1) fast path: the cache holds the exact wire frame that carried this
+  // seq (a seq_data, seq_accept, or seq_packed broadcast, pre-encoded).
+  // Serving is an index plus a resend — no payload copy, no re-encode. A
+  // cached tentative-form frame is only valid while the seq is still
+  // tentative; after finalization it would re-offer a tentative the
+  // requester could never resolve, so fall through to the encoding path
+  // (which refreshes the cache with the final form).
+  if (!frame_cache_.empty() && seq_ge(seq, cache_base_) &&
+      seq_lt(seq, cache_base_ + static_cast<SeqNum>(frame_cache_.size()))) {
+    const CachedFrame& e = frame_cache_.at(seq - cache_base_);
+    if (e.has_frame &&
+        (!e.tentative_form || tentative_.count(seq) > 0)) {
+      ++stats_.retransmits_served;
+      ++stats_.retransmit_cache_hits;
+      GTRACE(retransmit, .peer = to, .seq = seq);
+      if (to == my_id_) return;  // we obviously have it
+      if (trace_) trace_(true, e.meta, exec_.now());
+      flip_.send(target, my_addr_, e.frame);  // lvalue: frame stays cached
+      return;
+    }
+  }
+
   WireMsg m;
   m.type = WireType::retransmit;
   m.seq = seq;
@@ -248,7 +472,7 @@ void GroupMember::seq_serve_retransmit(MemberId to, SeqNum seq) {
     m.payload = t->second.msg.data;
   } else if (seq_ge(seq, hist_base_) &&
              seq_lt(seq, hist_base_ + static_cast<SeqNum>(history_.size()))) {
-    const GroupMessage& h = history_[seq - hist_base_];
+    const GroupMessage& h = history_.at(seq - hist_base_);
     m.sender = h.sender;
     m.msg_id = h.sender_msg_id;
     m.kind = h.kind;
@@ -269,7 +493,22 @@ void GroupMember::seq_serve_retransmit(MemberId to, SeqNum seq) {
   exec_.charge(
       exec_.costs().copy_time(m.payload.size(), exec_.costs().seq_tx_copies));
   if (to == my_id_) return;  // we obviously have it
-  send_to_address(target, std::move(m));
+  ++stats_.retransmit_payload_encodes;
+  m.incarnation = inc_;
+  if (trace_) trace_(true, m, exec_.now());
+  const bool final_form = (m.flags & kFlagTentative) == 0;
+  BufView frame = encode_wire(m);
+  if (final_form && !frame_cache_.empty() && seq_ge(seq, cache_base_) &&
+      seq_lt(seq, cache_base_ + static_cast<SeqNum>(frame_cache_.size()))) {
+    // Refresh: subsequent NACKs for this seq hit the cache with the final
+    // form (the common case after a finalized tentative or a BB accept).
+    CachedFrame& slot = frame_cache_.at(seq - cache_base_);
+    slot.meta = m;
+    slot.frame = frame;
+    slot.has_frame = true;
+    slot.tentative_form = false;
+  }
+  flip_.send(target, my_addr_, std::move(frame));
 }
 
 void GroupMember::seq_note_horizon(MemberId member, SeqNum piggyback) {
@@ -292,8 +531,14 @@ void GroupMember::seq_trim_history() {
   SeqNum min_h = next_deliver_;
   for (const auto& [id, h] : horizon_) min_h = seq_min(min_h, h);
   while (!history_.empty() && seq_lt(hist_base_, min_h)) {
-    history_.pop_front();
+    history_.try_pop();
     ++hist_base_;
+  }
+  // The retransmit cache follows the history window: below min_h nobody
+  // can NACK.
+  while (!frame_cache_.empty() && seq_lt(cache_base_, min_h)) {
+    frame_cache_.try_pop();
+    ++cache_base_;
   }
 }
 

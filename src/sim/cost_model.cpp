@@ -11,6 +11,9 @@ CostModel CostModel::free() {
   m.flip_packet = Duration::zero();
   m.group_send = Duration::zero();
   m.group_sequence = Duration::zero();
+  m.group_order = Duration::zero();
+  m.group_emit = Duration::zero();
+  m.group_unpack = Duration::zero();
   m.group_deliver = Duration::zero();
   m.group_per_member = Duration::zero();
   m.group_ack = Duration::zero();

@@ -52,6 +52,39 @@ void Node::charge(Duration cost) {
   busy_total_ += cost;
 }
 
+bool Node::rx_busy() const noexcept {
+  for (const Port& p : ports_) {
+    if (p.rx_service_scheduled) return true;
+  }
+  return false;
+}
+
+void Node::post_idle(std::function<void()> fn) {
+  if (crashed_) return;
+  idle_tasks_.push_back(std::move(fn));
+  if (!rx_busy()) drain_idle_tasks();
+}
+
+void Node::drain_idle_tasks() {
+  // cpu(0): each task lands at the busy horizon, i.e. behind the work the
+  // just-serviced frames posted (the engine breaks time ties FIFO). If new
+  // frames arrived by the time the slot comes up, the task goes back to
+  // waiting — "idle" means the whole input backlog, not just the ring
+  // snapshot at scheduling time. Callers that must run eventually bound
+  // their own deferral (the sequencer's batch caps force an inline flush).
+  std::vector<std::function<void()>> tasks;
+  tasks.swap(idle_tasks_);
+  for (auto& fn : tasks) {
+    cpu(Duration{}, [this, fn = std::move(fn)]() mutable {
+      if (rx_busy()) {
+        idle_tasks_.push_back(std::move(fn));
+      } else {
+        fn();
+      }
+    });
+  }
+}
+
 TimerId Node::set_timer(Duration d, std::function<void()> fn) {
   if (crashed_) return kInvalidTimer;
   const std::uint64_t epoch = epoch_;
@@ -81,6 +114,7 @@ void Node::service_rx(std::size_t port) {
       service_rx(port);
     } else {
       p.rx_service_scheduled = false;
+      if (!idle_tasks_.empty() && !rx_busy()) drain_idle_tasks();
     }
   });
 }
@@ -89,6 +123,7 @@ void Node::crash() {
   if (crashed_) return;
   crashed_ = true;
   ++epoch_;
+  idle_tasks_.clear();
   for (Port& p : ports_) {
     p.nic->set_down(true);
     p.rx_service_scheduled = false;

@@ -51,6 +51,13 @@ class Node {
   /// for in-handler costs like memory copies).
   void charge(Duration cost);
 
+  /// Run `fn` on this CPU (at zero cost) once every frame already buffered
+  /// in the receive rings has been serviced and handed up. While receive
+  /// service is in progress the task waits; it is then scheduled behind
+  /// whatever work those frames posted. Used by batching layers that want
+  /// to see the whole input burst before emitting.
+  void post_idle(std::function<void()> fn);
+
   /// Earliest time the CPU can accept new work.
   Time cpu_free() const noexcept {
     return cpu_free_ > engine_.now() ? cpu_free_ : engine_.now();
@@ -93,6 +100,8 @@ class Node {
 
   void service_rx(std::size_t port);
   void wire_port(std::size_t port);
+  bool rx_busy() const noexcept;
+  void drain_idle_tasks();
 
   Engine& engine_;
   const CostModel& model_;
@@ -101,6 +110,7 @@ class Node {
 
   Time cpu_free_{};
   Duration busy_total_{};
+  std::vector<std::function<void()>> idle_tasks_;
   bool crashed_{false};
   std::uint64_t epoch_{0};  // invalidates pre-crash callbacks
 

@@ -213,6 +213,9 @@ class JitterExecutor final : public Executor {
     inner_.post(cpu_cost, std::move(fn));
   }
   void charge(Duration cpu_cost) override { inner_.charge(cpu_cost); }
+  void post_idle(std::function<void()> fn) override {
+    inner_.post_idle(std::move(fn));
+  }
   TimerId set_timer(Duration delay, std::function<void()> fn) override {
     if (jitter_ > 0.0 && delay.ns > 0) {
       const double f = 1.0 + jitter_ * (2.0 * rng_.uniform() - 1.0);

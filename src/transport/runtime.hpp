@@ -49,6 +49,17 @@ class Executor {
   /// (memory copies, per-member bookkeeping).
   virtual void charge(Duration cpu_cost) = 0;
 
+  /// Run `fn` once the runtime has handed up every frame it has already
+  /// received (zero CPU cost of its own). On the simulator the task waits
+  /// for the NIC receive ring to drain, so a CPU-bound node sees all of
+  /// its input backlog first — this is what lets the sequencer pack one
+  /// frame per *burst* instead of one per message. Runtimes without a
+  /// visible input queue degrade to `post(0, fn)`, which is the same
+  /// thing when input is handed up one datagram per loop iteration.
+  virtual void post_idle(std::function<void()> fn) {
+    post(Duration{}, std::move(fn));
+  }
+
   /// One-shot timer. Handlers run in this context.
   virtual TimerId set_timer(Duration delay, std::function<void()> fn) = 0;
   virtual void cancel_timer(TimerId id) = 0;

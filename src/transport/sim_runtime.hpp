@@ -18,6 +18,9 @@ class SimExecutor final : public Executor {
     node_.cpu(cpu_cost, std::move(fn));
   }
   void charge(Duration cpu_cost) override { node_.charge(cpu_cost); }
+  void post_idle(std::function<void()> fn) override {
+    node_.post_idle(std::move(fn));
+  }
   TimerId set_timer(Duration delay, std::function<void()> fn) override {
     return node_.set_timer(delay, std::move(fn));
   }

@@ -1,6 +1,8 @@
 // Wire-format tests for the group protocol messages.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "flip/wire.hpp"
 #include "group/message.hpp"
 
@@ -153,6 +155,188 @@ TEST(GroupWire, RecoveredBatchRoundTrip) {
   EXPECT_EQ((*d)[2].msg_id, 84u);
   EXPECT_TRUE(check_pattern_buffer((*d)[2].data));
   EXPECT_FALSE(decode_recovered(Buffer{9, 9}).has_value());
+}
+
+// --- Batched frames (seq_packed / seq_accept_range) ------------------------
+
+WireMsg packed_header(SeqNum from, std::uint32_t count) {
+  WireMsg h;
+  h.type = WireType::seq_packed;
+  h.incarnation = 2;
+  h.piggyback = 17;
+  h.seq = from;
+  h.range_from = from;
+  h.range_count = count;
+  return h;
+}
+
+TEST(GroupWire, PackedFrameRoundTrip) {
+  std::vector<AcceptRec> accepts(2);
+  accepts[0] = AcceptRec{297, 1, 7, MessageKind::app, 0};
+  accepts[1] = AcceptRec{298, 2, 9, MessageKind::app, 0};
+
+  const BufView big = make_pattern_buffer(100);
+  const BufView small = make_pattern_buffer(9);
+  std::vector<PackedEntry> entries(3);
+  entries[0] = PackedEntry{4, 11, MessageKind::app, 0, big};
+  entries[1] = PackedEntry{5, 12, MessageKind::app, kFlagTentative, small};
+  // A BB message whose payload travelled with the sender's own multicast.
+  entries[2] = PackedEntry{6, 13, MessageKind::app, kFlagAcceptOnly, {}};
+
+  auto d = decode_wire(encode_packed_wire(packed_header(300, 3), accepts,
+                                          entries));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, WireType::seq_packed);
+  EXPECT_EQ(d->range_from, 300u);
+  EXPECT_EQ(d->range_count, 3u);
+  EXPECT_EQ(d->piggyback, 17u);
+
+  std::vector<AcceptRec> da;
+  std::vector<PackedEntry> de;
+  ASSERT_TRUE(decode_packed_payload(*d, da, de));
+  ASSERT_EQ(da.size(), 2u);
+  EXPECT_EQ(da[0].seq, 297u);  // piggybacked accepts carry explicit seqs
+  EXPECT_EQ(da[1].msg_id, 9u);
+  ASSERT_EQ(de.size(), 3u);
+  EXPECT_EQ(de[0].sender, 4u);
+  EXPECT_EQ(de[0].payload, big);
+  EXPECT_EQ(de[1].flags, kFlagTentative);
+  EXPECT_EQ(de[1].payload, small);
+  EXPECT_EQ(de[2].flags, kFlagAcceptOnly);
+  EXPECT_TRUE(de[2].payload.empty());
+}
+
+TEST(GroupWire, PackedFrameRejectsMalformedInput) {
+  std::vector<AcceptRec> accepts(1);
+  accepts[0] = AcceptRec{5, 1, 2, MessageKind::app, 0};
+  std::vector<PackedEntry> entries(2);
+  const BufView pay = make_pattern_buffer(40);
+  entries[0] = PackedEntry{3, 8, MessageKind::app, 0, pay};
+  entries[1] = PackedEntry{4, 9, MessageKind::app, 0, {}};
+  auto good = decode_wire(encode_packed_wire(packed_header(10, 2), accepts,
+                                             entries));
+  ASSERT_TRUE(good.has_value());
+  std::vector<AcceptRec> da;
+  std::vector<PackedEntry> de;
+  ASSERT_TRUE(decode_packed_payload(*good, da, de));
+
+  // Zero-count header.
+  WireMsg zero = *good;
+  zero.range_count = 0;
+  EXPECT_FALSE(decode_packed_payload(zero, da, de));
+
+  // Header claims more entries than the payload holds.
+  WireMsg over = *good;
+  over.range_count = 3;
+  EXPECT_FALSE(decode_packed_payload(over, da, de));
+
+  // Absurd count (above the sanity bound).
+  WireMsg absurd = *good;
+  absurd.range_count = 1u << 20;
+  EXPECT_FALSE(decode_packed_payload(absurd, da, de));
+
+  // Truncations at every section: accept table, entry head, entry payload,
+  // and one byte short of a clean end.
+  for (const std::size_t cut : {std::size_t{2}, std::size_t{17},
+                                std::size_t{30}, good->payload.size() - 1}) {
+    WireMsg t = *good;
+    t.payload = good->payload.subview(0, cut);
+    EXPECT_FALSE(decode_packed_payload(t, da, de)) << "cut=" << cut;
+  }
+
+  // Trailing garbage after the last entry is malformed, not ignored.
+  Buffer longer(good->payload.size() + 1);
+  std::memcpy(longer.data(), good->payload.data(), good->payload.size());
+  WireMsg trailing = *good;
+  trailing.payload = std::move(longer);
+  EXPECT_FALSE(decode_packed_payload(trailing, da, de));
+
+  // A lying accept_count that would overrun into the entry section.
+  Buffer lie(good->payload.size());
+  std::memcpy(lie.data(), good->payload.data(), good->payload.size());
+  lie[0] = 0xff;
+  lie[1] = 0xff;
+  WireMsg lying = *good;
+  lying.payload = std::move(lie);
+  EXPECT_FALSE(decode_packed_payload(lying, da, de));
+}
+
+TEST(GroupWire, AcceptRangeRoundTrip) {
+  WireMsg h;
+  h.type = WireType::seq_accept_range;
+  h.seq = 50;
+  h.range_from = 50;
+  h.range_count = 4;
+  h.piggyback = 49;
+  std::vector<AcceptRec> recs(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    recs[i] = AcceptRec{50 + i, i, 100 + i, MessageKind::app, 0};
+  }
+  auto d = decode_wire(encode_accept_range_wire(h, recs));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, WireType::seq_accept_range);
+  std::vector<AcceptRec> out;
+  ASSERT_TRUE(decode_accept_range_payload(*d, out));
+  ASSERT_EQ(out.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].seq, 50 + i);  // seqs implicit from range_from + index
+    EXPECT_EQ(out[i].sender, i);
+    EXPECT_EQ(out[i].msg_id, 100 + i);
+  }
+}
+
+TEST(GroupWire, AcceptRangeRejectsMalformedInput) {
+  WireMsg h;
+  h.type = WireType::seq_accept_range;
+  h.range_from = 50;
+  h.range_count = 3;
+  std::vector<AcceptRec> recs(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    recs[i] = AcceptRec{50 + i, i, i, MessageKind::app, 0};
+  }
+  auto good = decode_wire(encode_accept_range_wire(h, recs));
+  ASSERT_TRUE(good.has_value());
+  std::vector<AcceptRec> out;
+  ASSERT_TRUE(decode_accept_range_payload(*good, out));
+
+  WireMsg zero = *good;
+  zero.range_count = 0;
+  EXPECT_FALSE(decode_accept_range_payload(zero, out));
+
+  WireMsg absurd = *good;
+  absurd.range_count = 5000;  // above the sanity bound
+  EXPECT_FALSE(decode_accept_range_payload(absurd, out));
+
+  WireMsg mismatch = *good;
+  mismatch.range_count = 2;  // payload length disagrees with the count
+  EXPECT_FALSE(decode_accept_range_payload(mismatch, out));
+
+  WireMsg cut = *good;
+  cut.payload = good->payload.subview(0, good->payload.size() - 1);
+  EXPECT_FALSE(decode_accept_range_payload(cut, out));
+}
+
+TEST(GroupWire, OverlappingAcceptRangesDecodeIndependently) {
+  // Overlapping ranges are legal on the wire (retransmitted range frames
+  // overlap what a receiver already delivered); each decodes standalone and
+  // the receiver's duplicate suppression (seq < next_deliver) makes
+  // re-application a no-op. Here: [50,54) and [52,56) share 52 and 53.
+  for (const SeqNum from : {SeqNum{50}, SeqNum{52}}) {
+    WireMsg h;
+    h.type = WireType::seq_accept_range;
+    h.range_from = from;
+    h.range_count = 4;
+    std::vector<AcceptRec> recs(4);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      recs[i] = AcceptRec{from + i, 1, from + i, MessageKind::app, 0};
+    }
+    auto d = decode_wire(encode_accept_range_wire(h, recs));
+    ASSERT_TRUE(d.has_value());
+    std::vector<AcceptRec> out;
+    ASSERT_TRUE(decode_accept_range_payload(*d, out));
+    EXPECT_EQ(out.front().seq, from);
+    EXPECT_EQ(out.back().seq, from + 3);
+  }
 }
 
 }  // namespace

@@ -54,7 +54,11 @@ TEST(GroupPipeline, WindowSpeedsUpASingleSender) {
   // a fresh one whenever one completes (pre-loading hundreds of syscalls
   // would just measure the syscall queue).
   const auto run = [](int window) {
-    SimGroupHarness h(4, pipe_cfg(window));
+    // Ablation: batch_count 1 isolates the windowing gain — the bands
+    // below document the unbatched cost model.
+    GroupConfig cfg = pipe_cfg(window);
+    cfg.batch_count = 1;
+    SimGroupHarness h(4, cfg);
     if (!h.form_group()) return -1.0;
     int done = 0;
     constexpr int kTotal = 150;

@@ -335,5 +335,30 @@ TEST(GroupRecovery, OutstandingSendNotDuplicatedAcrossReset) {
   expect_conformant(h, {"m1", "m2"});
 }
 
+TEST(GroupRecovery, NackServiceIsZeroEncodeFromTheFrameCache) {
+  // The sequencer keeps the pre-encoded wire frame of every history entry;
+  // a NACK is served by index + resend of those exact bytes. With PB and
+  // r = 0 every cached entry is a final-form data frame, so the encoding
+  // fallback must never fire: retransmission is O(1) per NACK with zero
+  // payload encodes.
+  GroupConfig cfg = fast_cfg();
+  cfg.method = Method::pb;
+  SimGroupHarness h(4, cfg);
+  ASSERT_TRUE(h.form_group());
+  h.world().segment().set_fault_plan(sim::FaultPlan{.loss_prob = 0.12});
+
+  int ok = 0;
+  for (std::size_t p = 0; p < 4; ++p) pump(h, p, 25, &ok);
+  ASSERT_TRUE(h.run_until([&] { return ok == 100; }, Duration::seconds(120)));
+  h.run_until([] { return false; }, Duration::millis(300));
+
+  const GroupStats& s = h.process(0).member().stats();
+  EXPECT_GT(s.retransmits_served.load(), 0u)
+      << "12% loss must exercise the retransmit path";
+  EXPECT_GT(s.retransmit_cache_hits.load(), 0u);
+  EXPECT_EQ(s.retransmit_payload_encodes.load(), 0u)
+      << "a NACK re-encoded a payload instead of resending the cached frame";
+}
+
 }  // namespace
 }  // namespace amoeba::group

@@ -28,13 +28,26 @@ int env_count(const char* name, int fallback) {
 
 std::vector<PropertyParams> sweep_params() {
   const int seeds = env_count("AMOEBA_PROPERTY_SEEDS", 6);
+  // batch_count is a third sweep dimension: 1 (packing off), 4 (partial
+  // frames flush on the idle hook), 16 (the default cap). On the PR budget
+  // each seed cycles through one of the three; the nightly job sets
+  // AMOEBA_PROPERTY_BATCH_SWEEP=1 for the full cross product.
+  constexpr std::size_t kBatchCounts[] = {1, 4, 16};
+  const bool full_batch_sweep =
+      std::getenv("AMOEBA_PROPERTY_BATCH_SWEEP") != nullptr;
   std::vector<PropertyParams> out;
   for (int s = 0; s < seeds; ++s) {
     for (const Method m : {Method::pb, Method::bb}) {
       for (const std::uint32_t r : {0u, 1u, 2u}) {
-        out.push_back(PropertyParams{
-            .seed = 1000 + static_cast<std::uint64_t>(s), .method = m,
-            .resilience = r});
+        for (const std::size_t bc : kBatchCounts) {
+          if (!full_batch_sweep &&
+              bc != kBatchCounts[static_cast<std::size_t>(s) % 3]) {
+            continue;
+          }
+          out.push_back(PropertyParams{
+              .seed = 1000 + static_cast<std::uint64_t>(s), .method = m,
+              .resilience = r, .batch_count = bc});
+        }
       }
     }
   }
@@ -64,7 +77,8 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return "seed" + std::to_string(p.seed) +
              (p.method == Method::pb ? "_pb" : "_bb") + "_r" +
-             std::to_string(p.resilience) + "_" + sc;
+             std::to_string(p.resilience) + "_bc" +
+             std::to_string(p.batch_count) + "_" + sc;
     });
 
 // ---------------------------------------------------------------------------

@@ -39,6 +39,10 @@ struct PropertyParams {
   std::uint64_t seed{1};
   Method method{Method::pb};
   std::uint32_t resilience{0};
+  // Sequencer packing cap for the case: 1 disables batching entirely (every
+  // message rides its own seq_data frame), larger values exercise the
+  // seq_packed / seq_accept_range path under the same nemesis schedules.
+  std::size_t batch_count{16};
 };
 
 struct PropertyOutcome {
@@ -76,7 +80,8 @@ inline std::string describe(const PropertyParams& p, int sc) {
   os << "seed=" << p.seed << " method="
      << (p.method == Method::pb ? "pb"
                                 : (p.method == Method::bb ? "bb" : "dynamic"))
-     << " r=" << p.resilience << " scenario=" << scenario_name(sc);
+     << " r=" << p.resilience << " batch_count=" << p.batch_count
+     << " scenario=" << scenario_name(sc);
   return os.str();
 }
 
@@ -87,6 +92,7 @@ inline PropertyOutcome run_property_case(const PropertyParams& p) {
   GroupConfig cfg;
   cfg.resilience = p.resilience;
   cfg.method = p.method;
+  cfg.batch_count = p.batch_count;
   cfg.send_retry = Duration::millis(30);
   cfg.nack_retry = Duration::millis(10);
   cfg.join_retry = Duration::millis(50);
