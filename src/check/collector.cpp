@@ -19,6 +19,9 @@ const char* to_string(EventKind k) {
     case EventKind::reset_start: return "reset_start";
     case EventKind::reset_done: return "reset_done";
     case EventKind::fail: return "fail";
+    case EventKind::log_sync: return "log_sync";
+    case EventKind::log_recover: return "log_recover";
+    case EventKind::restart: return "restart";
   }
   return "?";
 }

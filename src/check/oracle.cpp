@@ -54,6 +54,7 @@ class Checker {
       scan(r);
     }
     check_durability();
+    check_restart();
     return std::move(verdict_);
   }
 
@@ -199,12 +200,14 @@ class Checker {
       }
     }
 
-    if (opts_.check_agreement) {
+    // The agreement table doubles as the reference history for the restart
+    // check, so it is kept even when the agreement invariant itself is off.
+    if (opts_.check_agreement || !opts_.restart_pairs.empty()) {
       const auto key = pack(e.inc, e.seq);
       const DeliveryId id{e.peer, e.msg_id, e.mkind, e.a};
       auto [it, inserted] =
           agreement_.try_emplace(key, std::pair{id, where(r, e)});
-      if (!inserted && !(it->second.first == id)) {
+      if (!inserted && !(it->second.first == id) && opts_.check_agreement) {
         add("agreement", "two members delivered different messages as inc=" +
                              std::to_string(e.inc) + " seq=" +
                              std::to_string(e.seq) + ":\n    " +
@@ -270,6 +273,85 @@ class Checker {
                   std::to_string(static_cast<std::uint32_t>(key)) +
                   " from m" + std::to_string(key >> 32) +
                   ", witnessed elsewhere:\n    " + at);
+        }
+      }
+    }
+  }
+
+  const RingTrace* find_ring(const std::string& label) const {
+    for (const RingTrace& r : rings_) {
+      if (r.label == label) return &r;
+    }
+    return nullptr;
+  }
+
+  // Durability across a crash-restart-with-disk. The pre-crash ring's last
+  // log_sync event is the member's final durable-range report [a, seq) —
+  // flush_log emits it after every successful fsync and the compaction
+  // path re-emits it when the floor moves, so the report tracks exactly
+  // the records a correct recovery must reproduce. The post-restart ring's
+  // log_recover events are what recovery actually read back.
+  void check_restart() {
+    for (const OracleOptions::RestartPair& pair : opts_.restart_pairs) {
+      if (full()) return;
+      const RingTrace* pre = find_ring(pair.pre);
+      const RingTrace* post = find_ring(pair.post);
+      if (pre == nullptr || post == nullptr) {
+        add("restart", "no trace ring labeled '" +
+                           (pre == nullptr ? pair.pre : pair.post) + "'");
+        continue;
+      }
+
+      bool have_sync = false;
+      SeqNum sync_lo = 0;
+      SeqNum sync_hi = 0;
+      for (const TraceEvent& e : pre->events) {
+        if (e.kind == EventKind::log_sync) {
+          have_sync = true;
+          sync_lo = static_cast<SeqNum>(e.a);
+          sync_hi = e.seq;
+        }
+      }
+
+      std::unordered_set<SeqNum> recovered;
+      bool have_last = false;
+      SeqNum last = 0;
+      for (const TraceEvent& e : post->events) {
+        if (full()) return;
+        if (e.kind == EventKind::restart) {
+          have_last = false;  // a fresh recovery pass restarts contiguity
+          continue;
+        }
+        if (e.kind != EventKind::log_recover) continue;
+        if (have_last && e.seq != last + 1) {
+          add("restart", where(*post, e) + " recovered out of order after seq " +
+                             std::to_string(last));
+        }
+        have_last = true;
+        last = e.seq;
+        recovered.insert(e.seq);
+        // The recovered record must be the message the group agreed on for
+        // that slot — recovery may not rewrite history.
+        auto it = agreement_.find(pack(e.inc, e.seq));
+        if (it != agreement_.end()) {
+          const DeliveryId id{e.peer, e.msg_id, e.mkind, e.a};
+          if (!(it->second.first == id)) {
+            add("restart",
+                "recovered record differs from the delivered message at inc=" +
+                    std::to_string(e.inc) + " seq=" + std::to_string(e.seq) +
+                    ":\n    " + it->second.second + "\n    " + where(*post, e));
+          }
+        }
+      }
+
+      if (!have_sync) continue;  // nothing was ever reported durable
+      for (SeqNum s = sync_lo; seq_lt(s, sync_hi); ++s) {
+        if (full()) return;
+        if (recovered.count(s) == 0) {
+          add("restart", pair.post + " lost seq " + std::to_string(s) +
+                             " that " + pair.pre + " reported synced as [" +
+                             std::to_string(sync_lo) + ", " +
+                             std::to_string(sync_hi) + ")");
         }
       }
     }

@@ -35,6 +35,16 @@
 //                 that returned ok. Sound when total crashes <= r and the
 //                 listed members are in the final view and quiesced; the
 //                 caller asserts that context.
+//   restart     — durability across crash-restart-with-disk: for each
+//                 (pre, post) ring pair in `restart_pairs`, everything the
+//                 pre-crash incarnation reported synced to disk (its last
+//                 log_sync event covers [a, seq)) is recovered verbatim by
+//                 the post-restart incarnation: every seq in the synced
+//                 range reappears as a log_recover event, the recovered
+//                 records are contiguous, and each one carries the same
+//                 (sender, msg_id, payload fingerprint) that the group
+//                 agreed on for that (incarnation, seq) slot — recovery
+//                 can neither drop, reorder, nor rewrite history.
 #pragma once
 
 #include <string>
@@ -59,6 +69,15 @@ struct OracleOptions {
   /// Labels of rings expected to hold every application message delivered
   /// anywhere (see `durability` above). Empty: durability not checked.
   std::vector<std::string> durable_rings;
+
+  /// Crash-restart pairs: `pre` is the ring of the member's life that
+  /// ended in a crash, `post` the ring of its restarted life (see
+  /// `restart` above). Empty: restart obligations not checked.
+  struct RestartPair {
+    std::string pre;
+    std::string post;
+  };
+  std::vector<RestartPair> restart_pairs;
 
   /// Stop collecting after this many violations (reports stay readable).
   std::size_t max_violations{16};

@@ -49,6 +49,10 @@ enum class EventKind : std::uint8_t {
   reset_start, // entered recovery under incarnation `inc`
   reset_done,  // recovery concluded; seq = rebuilt stream target
   fail,        // the group failed locally (a = Status)
+  log_sync,    // durable log fsync barrier: seq = durable hi, a = log lo
+  log_recover, // one message recovered from disk at restart: seq, inc,
+               // peer = sender, msg_id, a = payload fingerprint
+  restart,     // member reattached a recovered log: seq = hi, a = lo
 };
 
 const char* to_string(EventKind k);

@@ -45,6 +45,10 @@ enum class Status : int {
   /// A GroupConfig tunable is unusable (zero history/batch sizes, ...).
   /// Raised by CreateGroup/JoinGroup instead of silently misbehaving.
   bad_config,
+  /// Stable storage misbehaved (short write, failed fsync, torn record).
+  /// Raised by the durable-log layer; the protocol core treats it as a
+  /// transient condition and retries the sync.
+  io_error,
 };
 
 /// Human-readable name for a status code (stable, for logs and tests).
@@ -63,6 +67,7 @@ constexpr std::string_view to_string(Status s) noexcept {
     case Status::invalid_argument: return "invalid_argument";
     case Status::retry_exhausted: return "retry_exhausted";
     case Status::bad_config: return "bad_config";
+    case Status::io_error: return "io_error";
   }
   return "unknown";
 }

@@ -21,6 +21,21 @@ enum class Method : std::uint8_t {
   bb,  // force broadcast -> sequencer accept broadcast
 };
 
+/// EXTENSION (ROADMAP item 4): durability of the delivery stream.
+enum class Durability : std::uint8_t {
+  /// Paper behavior: memory-only. The history ring and resilience degree r
+  /// are the only storage; a crashed member rejoins as an amnesiac.
+  off = 0,
+  /// Deliveries are appended to the durable log; fsync runs on a timer
+  /// (`fsync_interval`). Cheap, but the tail since the last sync can be
+  /// lost with a crash.
+  async,
+  /// One fsync per delivery batch, on the Accept boundary: a member's own
+  /// send completes `ok` only after the covering fsync, so an acked
+  /// message survives its sender's crash-with-disk.
+  group_commit,
+};
+
 struct GroupConfig {
   /// Resilience degree r: SendToGroup returns only when >= r other kernels
   /// hold the message, so it survives any r member crashes (Section 3.1).
@@ -136,6 +151,16 @@ struct GroupConfig {
   /// Concurrent large transfers the sequencer admits.
   int fc_slots = 2;
 
+  // --- Durable log (EXTENSION: ROADMAP item 4) ------------------------------
+  // Off by default so the paper-reproduction tables keep running the
+  // memory-only protocol; see docs/DURABILITY.md.
+  Durability durability = Durability::off;
+  /// Segment rotation threshold for the durable log. Whole segments are
+  /// deleted once the group's compaction horizon passes them.
+  std::size_t log_segment_bytes = 1 << 20;
+  /// `async` mode: cadence of the background fsync timer.
+  Duration fsync_interval = Duration::millis(25);
+
   /// Validate and clamp the tunables. Called once by CreateGroup/JoinGroup
   /// so a nonsensical configuration surfaces as a typed Status::bad_config
   /// instead of silent misbehaviour (a zero-capacity history, a NACK batch
@@ -154,6 +179,15 @@ struct GroupConfig {
     }
     if (batch_count > history_size) batch_count = history_size;
     if (batch_bytes > max_message) batch_bytes = max_message;
+    if (durability != Durability::off) {
+      if (log_segment_bytes == 0) return Status::bad_config;
+      if (durability == Durability::async && fsync_interval.ns <= 0) {
+        return Status::bad_config;
+      }
+      // A segment that cannot hold even a handful of records would rotate
+      // (and fsync) on nearly every append; clamp to a sane floor.
+      if (log_segment_bytes < 4096) log_segment_bytes = 4096;
+    }
     return Status::ok;
   }
 };

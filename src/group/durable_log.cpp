@@ -1,0 +1,449 @@
+#include "group/durable_log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/crc32.hpp"
+
+namespace amoeba::group {
+
+namespace {
+
+constexpr std::uint32_t kSegMagic = 0x31474C41;   // "ALG1"
+constexpr std::uint32_t kCkptMagic = 0x31504341;  // "ACP1"
+constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
+constexpr std::uint8_t kRecMsg = 1;
+constexpr std::uint8_t kRecView = 2;
+constexpr int kWriteRetries = 8;
+constexpr char kCkptName[] = "checkpoint";
+constexpr char kCkptTmpName[] = "checkpoint.tmp";
+
+}  // namespace
+
+std::string DurableLog::segment_name(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%08llx.log",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::optional<std::uint64_t> DurableLog::parse_segment_name(
+    const std::string& n) {
+  if (n.size() != 16 || n.rfind("seg-", 0) != 0 ||
+      n.compare(12, 4, ".log") != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 4; i < 12; ++i) {
+    const char c = n[i];
+    std::uint64_t d;
+    if (c >= '0' && c <= '9') d = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') d = static_cast<std::uint64_t>(c - 'a') + 10;
+    else return std::nullopt;
+    v = (v << 4) | d;
+  }
+  return v;
+}
+
+DurableLog::Segment* DurableLog::find_segment(std::uint64_t index) {
+  for (auto it = segs_.rbegin(); it != segs_.rend(); ++it) {
+    if (it->index == index) return &*it;
+  }
+  return nullptr;
+}
+
+std::uint64_t DurableLog::log_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : segs_) total += s.size;
+  return total;
+}
+
+Status DurableLog::open() {
+  segs_.clear();
+  index_.clear();
+  any_ = false;
+  lo_ = hi_ = durable_hi_ = 0;
+  dirty_ = false;
+  recovered_view_.reset();
+  last_view_seg_.reset();
+  pending_sync_.clear();
+
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (const std::string& name : st_.list()) {
+    if (auto idx = parse_segment_name(name)) found.emplace_back(*idx, name);
+  }
+  std::sort(found.begin(), found.end());
+  next_index_ = found.empty() ? 0 : found.back().first + 1;
+
+  bool broken = false;  // a torn/corrupt frame invalidates everything after
+  for (auto& [idx, name] : found) {
+    if (broken) {
+      st_.remove(name);
+      continue;
+    }
+    auto fr = st_.open(name);
+    if (!fr.ok()) {
+      broken = true;
+      st_.remove(name);
+      continue;
+    }
+    Segment s;
+    s.index = idx;
+    s.name = name;
+    s.file = std::move(*fr);
+    const std::uint64_t fsize = s.file->size();
+    std::uint8_t hdr[8];
+    if (fsize < sizeof(hdr) ||
+        s.file->read_at(0, hdr) != Status::ok ||
+        load_le32(hdr) != kSegMagic) {
+      broken = true;
+      s.file.reset();
+      st_.remove(name);
+      continue;
+    }
+    std::uint64_t off = sizeof(hdr);
+    Buffer payload;
+    while (off + 8 < fsize) {
+      std::uint8_t fh[8];
+      if (s.file->read_at(off, fh) != Status::ok) break;
+      const std::uint32_t crc = load_le32(fh);
+      const std::uint32_t len = load_le32(fh + 4);
+      if (len < 1 || len > kMaxRecordBytes || off + 8 + len > fsize) break;
+      payload.resize(len);
+      if (s.file->read_at(off + 8, payload) != Status::ok) break;
+      if (crc32(payload) != crc) break;
+      const std::uint8_t type = payload[0];
+      if (type == kRecMsg) {
+        BufReader r(std::span<const std::uint8_t>(payload).subspan(1));
+        const SeqNum seq = r.u32();
+        r.u32();  // inc
+        r.u32();  // sender
+        r.u8();   // kind
+        r.u32();  // msg_id
+        const std::uint32_t dlen = r.u32();
+        if (!r.ok() || r.remaining() < dlen) break;
+        if (any_ && seq != hi_) break;  // contiguity broken: torn tail
+        if (!any_) {
+          any_ = true;
+          lo_ = seq;
+        }
+        hi_ = seq + 1;
+        if (!s.has_msgs) {
+          s.has_msgs = true;
+          s.first_seq = seq;
+        }
+        s.end_seq = hi_;
+        index_.push_back(RecordRef{idx, off, 8 + len});
+      } else if (type == kRecView) {
+        BufReader r(std::span<const std::uint8_t>(payload).subspan(1));
+        LogViewRecord v;
+        v.group.id = r.u64();
+        v.inc = r.u32();
+        v.my_id = r.u32();
+        v.sequencer = r.u32();
+        v.next_deliver = r.u32();
+        const std::uint32_t n = r.u32();
+        if (!r.ok() || n > 4096) break;
+        v.members.resize(n);
+        for (auto& m : v.members) {
+          m.id = r.u32();
+          m.address.id = r.u64();
+        }
+        if (!r.ok()) break;
+        recovered_view_ = std::move(v);
+        s.has_view = true;
+        last_view_seg_ = idx;
+      } else {
+        break;
+      }
+      off += 8 + len;
+    }
+    if (off < fsize) {
+      // Torn tail: cut it and drop any later segments.
+      s.file->truncate(off);
+      broken = true;
+    }
+    s.size = off;
+    segs_.push_back(std::move(s));
+  }
+
+  durable_hi_ = hi_;  // whatever survived the scan is on stable storage
+  (void)read_checkpoint();
+  return Status::ok;
+}
+
+Status DurableLog::ensure_active(SeqNum base_hint) {
+  if (segs_.empty() || segs_.back().size >= opts_.segment_bytes) {
+    return rotate(base_hint);
+  }
+  return Status::ok;
+}
+
+Status DurableLog::rotate(SeqNum base_hint) {
+  if (!segs_.empty()) {
+    // Finished segments must never hold un-synced bytes; on failure the
+    // segment joins pending_sync_ and the next sync() barrier retries.
+    Segment& old = segs_.back();
+    ++fsyncs_;
+    if (old.file->sync() == Status::ok) {
+      if (pending_sync_.empty()) {
+        durable_hi_ = hi_;
+        dirty_ = false;
+      }
+    } else {
+      pending_sync_.push_back(old.index);
+    }
+  }
+  Segment s;
+  s.index = next_index_++;
+  s.name = segment_name(s.index);
+  auto fr = st_.open(s.name);
+  if (!fr.ok()) return Status::io_error;
+  s.file = std::move(*fr);
+  if (s.file->size() != 0) (void)s.file->truncate(0);
+  std::uint8_t hdr[8];
+  store_le32(hdr, kSegMagic);
+  store_le32(hdr + 4, base_hint);
+  Status ws = Status::io_error;
+  for (int attempt = 0; attempt < kWriteRetries; ++attempt) {
+    ws = s.file->write_at(0, hdr);
+    if (ws == Status::ok) break;
+  }
+  if (ws != Status::ok) {
+    // Never leave a headerless orphan behind: the reopen scan walks
+    // segments in index order and a broken link would discard every
+    // later segment — including fully synced ones.
+    s.file.reset();
+    st_.remove(s.name);
+    return Status::io_error;
+  }
+  s.size = sizeof(hdr);
+  segs_.push_back(std::move(s));
+  return Status::ok;
+}
+
+Status DurableLog::append_frame(std::span<const std::uint8_t> payload,
+                                bool is_msg, SeqNum seq) {
+  if (const Status s = ensure_active(seq); s != Status::ok) return s;
+  Segment& seg = segs_.back();
+  Buffer frame(8 + payload.size());
+  store_le32(frame.data(), crc32(payload));
+  store_le32(frame.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  std::copy(payload.begin(), payload.end(), frame.begin() + 8);
+  // A failed write may have landed a torn prefix; re-writing the whole
+  // frame at the same offset repairs it, so retry in place.
+  Status ws = Status::io_error;
+  for (int attempt = 0; attempt < kWriteRetries; ++attempt) {
+    ws = seg.file->write_at(seg.size, frame);
+    if (ws == Status::ok) break;
+  }
+  if (ws != Status::ok) {
+    // Give up: best effort to cut the torn bytes so a crash before the next
+    // append recovers cleanly.
+    (void)seg.file->truncate(seg.size);
+    return Status::io_error;
+  }
+  const std::uint64_t off = seg.size;
+  seg.size += frame.size();
+  dirty_ = true;
+  if (is_msg) {
+    index_.push_back(
+        RecordRef{seg.index, off, static_cast<std::uint32_t>(frame.size())});
+    if (!seg.has_msgs) {
+      seg.has_msgs = true;
+      seg.first_seq = seq;
+    }
+    seg.end_seq = seq + 1;
+  }
+  return Status::ok;
+}
+
+Status DurableLog::append_message(SeqNum seq, Incarnation inc, MemberId sender,
+                                  MessageKind kind, std::uint32_t msg_id,
+                                  std::span<const std::uint8_t> data) {
+  if (any_ && seq != hi_) {
+    // Rejoin at a fresh stream position: the old suffix has been consumed
+    // by recovery/state transfer, so start a new contiguous range.
+    if (const Status s = reset_all(); s != Status::ok) return s;
+  }
+  BufWriter w(32 + data.size());
+  w.u8(kRecMsg);
+  w.u32(seq);
+  w.u32(inc);
+  w.u32(sender);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(msg_id);
+  w.bytes(data);
+  const Status s = append_frame(w.view(), true, seq);
+  if (s != Status::ok) return s;
+  if (!any_) {
+    any_ = true;
+    lo_ = seq;
+  }
+  hi_ = seq + 1;
+  ++appends_;
+  return Status::ok;
+}
+
+Status DurableLog::append_view(const LogViewRecord& v) {
+  BufWriter w(64);
+  w.u8(kRecView);
+  w.u64(v.group.id);
+  w.u32(v.inc);
+  w.u32(v.my_id);
+  w.u32(v.sequencer);
+  w.u32(v.next_deliver);
+  w.u32(static_cast<std::uint32_t>(v.members.size()));
+  for (const MemberInfo& m : v.members) {
+    w.u32(m.id);
+    w.u64(m.address.id);
+  }
+  const Status s = append_frame(w.view(), false, v.next_deliver);
+  if (s != Status::ok) return s;
+  segs_.back().has_view = true;
+  last_view_seg_ = segs_.back().index;
+  recovered_view_ = v;
+  return Status::ok;
+}
+
+Status DurableLog::sync() {
+  if (!dirty_ && pending_sync_.empty()) return Status::ok;
+  while (!pending_sync_.empty()) {
+    Segment* s = find_segment(pending_sync_.back());
+    if (s != nullptr) {
+      ++fsyncs_;
+      if (s->file->sync() != Status::ok) return Status::io_error;
+    }
+    pending_sync_.pop_back();
+  }
+  if (!segs_.empty()) {
+    ++fsyncs_;
+    if (segs_.back().file->sync() != Status::ok) return Status::io_error;
+  }
+  durable_hi_ = hi_;
+  dirty_ = false;
+  return Status::ok;
+}
+
+std::optional<LogRecord> DurableLog::read_message(SeqNum seq) {
+  if (!any_ || !seq_ge(seq, lo_) || !seq_lt(seq, hi_)) return std::nullopt;
+  const RecordRef& ref = index_[seq - lo_];
+  Segment* seg = find_segment(ref.seg_index);
+  if (seg == nullptr) return std::nullopt;
+  Buffer frame(ref.len);
+  if (seg->file->read_at(ref.offset, frame) != Status::ok) return std::nullopt;
+  const std::uint32_t crc = load_le32(frame.data());
+  const std::uint32_t len = load_le32(frame.data() + 4);
+  if (len + 8 != frame.size()) return std::nullopt;
+  const std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(frame).subspan(8);
+  if (crc32(payload) != crc || payload[0] != kRecMsg) return std::nullopt;
+  BufReader r(payload.subspan(1));
+  LogRecord rec;
+  rec.seq = r.u32();
+  rec.inc = r.u32();
+  rec.sender = r.u32();
+  rec.kind = static_cast<MessageKind>(r.u8());
+  rec.msg_id = r.u32();
+  Buffer data = r.bytes();
+  if (!r.ok() || rec.seq != seq) return std::nullopt;
+  rec.data = BufView(std::move(data));
+  return rec;
+}
+
+Status DurableLog::write_checkpoint(SeqNum as_of,
+                                    std::span<const std::uint8_t> snap) {
+  auto fr = st_.open(kCkptTmpName);
+  if (!fr.ok()) return Status::io_error;
+  std::unique_ptr<storage::StorageFile> f = std::move(*fr);
+  if (f->truncate(0) != Status::ok) return Status::io_error;
+  BufWriter body(8 + snap.size());
+  body.u32(as_of);
+  body.bytes(snap);
+  BufWriter w(16 + snap.size());
+  w.u32(kCkptMagic);
+  w.u32(crc32(body.view()));
+  w.raw(body.view());
+  if (f->write_at(0, w.view()) != Status::ok) return Status::io_error;
+  if (f->sync() != Status::ok) return Status::io_error;
+  f.reset();
+  if (st_.rename(kCkptTmpName, kCkptName) != Status::ok) {
+    return Status::io_error;
+  }
+  ckpt_as_of_ = as_of;
+  return Status::ok;
+}
+
+std::optional<DurableLog::Checkpoint> DurableLog::read_checkpoint() {
+  if (!st_.exists(kCkptName)) return std::nullopt;
+  auto fr = st_.open(kCkptName);
+  if (!fr.ok()) return std::nullopt;
+  Buffer all((*fr)->size());
+  if (all.size() < 16 || (*fr)->read_at(0, all) != Status::ok) {
+    return std::nullopt;
+  }
+  if (load_le32(all.data()) != kCkptMagic) return std::nullopt;
+  const std::uint32_t crc = load_le32(all.data() + 4);
+  const std::span<const std::uint8_t> body =
+      std::span<const std::uint8_t>(all).subspan(8);
+  if (crc32(body) != crc) return std::nullopt;
+  BufReader r(body);
+  Checkpoint cp;
+  cp.as_of = r.u32();
+  cp.snapshot = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  ckpt_as_of_ = cp.as_of;
+  return cp;
+}
+
+Status DurableLog::compact(SeqNum horizon) {
+  SeqNum h = horizon;
+  if (ckpt_as_of_.has_value() && seq_lt(*ckpt_as_of_, h)) h = *ckpt_as_of_;
+  while (segs_.size() > 1) {
+    Segment& s = segs_.front();
+    if (s.has_msgs && !seq_le(s.end_seq, h)) break;
+    if (last_view_seg_.has_value() && *last_view_seg_ == s.index) {
+      // The latest view record lives here and must survive compaction
+      // (it carries the member's identity across restarts). Carry a copy
+      // into the active segment and make it durable before dropping the
+      // original — a crash in between must never leave the disk viewless.
+      if (!recovered_view_.has_value()) break;
+      const LogViewRecord v = *recovered_view_;
+      if (append_view(v) != Status::ok || sync() != Status::ok) break;
+    }
+    if (s.has_msgs) {
+      const std::uint32_t n = s.end_seq - lo_;
+      for (std::uint32_t i = 0; i < n && !index_.empty(); ++i) {
+        index_.pop_front();
+      }
+      lo_ = s.end_seq;
+    }
+    pending_sync_.erase(
+        std::remove(pending_sync_.begin(), pending_sync_.end(), s.index),
+        pending_sync_.end());
+    const std::string name = s.name;
+    s.file.reset();
+    segs_.pop_front();
+    st_.remove(name);
+    ++segments_dropped_;
+  }
+  return Status::ok;
+}
+
+Status DurableLog::reset_all() {
+  for (Segment& s : segs_) {
+    s.file.reset();
+    st_.remove(s.name);
+  }
+  segs_.clear();
+  index_.clear();
+  pending_sync_.clear();
+  last_view_seg_.reset();
+  any_ = false;
+  lo_ = hi_ = durable_hi_ = 0;
+  dirty_ = false;
+  ++resets_;
+  return Status::ok;
+}
+
+}  // namespace amoeba::group

@@ -1,0 +1,184 @@
+// Durable segment log behind the history ring (ROADMAP item 4).
+//
+// The in-memory history ring and the O(1) retransmit cache keep serving
+// NACKs; this log is the *stable* copy of the delivery stream, so a member
+// can crash with its disk and come back knowing who it was and what it had
+// delivered, and so segments below a group-agreed horizon can be deleted
+// instead of history growing for months.
+//
+// Layout (one `storage::Storage` namespace per member):
+//
+//   seg-XXXXXXXX.log   CRC-framed records, appended in delivery order
+//   checkpoint         latest application snapshot (atomic tmp+rename)
+//
+// Segment files carry an 8-byte header [magic][base_seq] and then frames:
+//
+//   [u32 crc][u32 len][len bytes payload]     crc = CRC-32 of payload
+//   payload[0] == 1 (msg) : seq inc sender kind msg_id  bytes(data)
+//   payload[0] == 2 (view): gaddr inc my_id seq_id next_deliver members
+//
+// Messages must be appended in seq order; the log maintains one contiguous
+// range [lo, hi). Appending at any other seq (a rejoin under a fresh view
+// position) resets the log: old segments are deleted and a new range
+// starts — by then recovery has already consumed the old suffix.
+//
+// On open() the segments are scanned in creation order; the first short or
+// CRC-mismatched frame is treated as a torn tail: that file is truncated
+// there and any later segments are dropped. Everything that survives the
+// scan is durable by definition, and the last view record yields the
+// member's recovered identity.
+//
+// sync() is the group-commit barrier: it fsyncs the active segment and
+// advances durable_hi to hi. Rotation fsyncs the finished segment, so
+// older segments never hold un-synced bytes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "common/seqnum.hpp"
+#include "group/types.hpp"
+#include "storage/storage.hpp"
+
+namespace amoeba::group {
+
+/// One persisted (or recovered) delivery.
+struct LogRecord {
+  SeqNum seq{0};
+  Incarnation inc{0};
+  MemberId sender{kInvalidMember};
+  MessageKind kind{MessageKind::app};
+  std::uint32_t msg_id{0};
+  BufView data;
+};
+
+/// The member identity persisted with every view installation.
+struct LogViewRecord {
+  flip::Address group;
+  Incarnation inc{0};
+  MemberId my_id{kInvalidMember};
+  MemberId sequencer{kInvalidMember};
+  SeqNum next_deliver{0};
+  std::vector<MemberInfo> members;
+};
+
+struct DurableLogOptions {
+  std::size_t segment_bytes{1 << 20};
+};
+
+class DurableLog {
+ public:
+  DurableLog(storage::Storage& st, DurableLogOptions opts = {})
+      : st_(st), opts_(opts) {}
+
+  /// Scan existing segments, truncate a torn tail, rebuild the in-memory
+  /// index, and load the recovered identity + checkpoint cursor.
+  Status open();
+
+  // --- Recovered state ------------------------------------------------------
+  /// True when the log holds no messages (fresh or views-only).
+  bool empty() const { return !any_; }
+  /// Contiguous message range [lo, hi). Meaningless while empty().
+  SeqNum lo() const { return lo_; }
+  SeqNum hi() const { return hi_; }
+  /// End of the fsync-covered prefix; == hi() right after open().
+  SeqNum durable_hi() const { return durable_hi_; }
+  /// Last persisted view, if any (crash-restart identity recovery).
+  const std::optional<LogViewRecord>& recovered_view() const {
+    return recovered_view_;
+  }
+
+  // --- Append path ----------------------------------------------------------
+  Status append_message(SeqNum seq, Incarnation inc, MemberId sender,
+                        MessageKind kind, std::uint32_t msg_id,
+                        std::span<const std::uint8_t> data);
+  Status append_view(const LogViewRecord& v);
+  bool dirty() const { return dirty_; }
+  /// Durability barrier; on ok, durable_hi() == hi().
+  Status sync();
+
+  // --- Read path ------------------------------------------------------------
+  /// Re-read one message (recovery retrieval, suffix transfer). The frame
+  /// CRC is re-verified; nullopt outside [lo, hi) or on corruption.
+  std::optional<LogRecord> read_message(SeqNum seq);
+
+  // --- Checkpoint + compaction ---------------------------------------------
+  /// Atomically publish an application snapshot covering deliveries < as_of
+  /// (tmp file, fsync, rename).
+  Status write_checkpoint(SeqNum as_of, std::span<const std::uint8_t> snap);
+  struct Checkpoint {
+    SeqNum as_of{0};
+    Buffer snapshot;
+  };
+  std::optional<Checkpoint> read_checkpoint();
+  std::optional<SeqNum> checkpoint_as_of() const { return ckpt_as_of_; }
+
+  /// Drop whole segments entirely below min(horizon, own checkpoint). The
+  /// active segment and the segment holding the latest view are kept.
+  Status compact(SeqNum horizon);
+
+  // --- Counters / diagnostics ----------------------------------------------
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t fsyncs() const { return fsyncs_; }
+  std::uint64_t resets() const { return resets_; }
+  std::uint64_t segments_dropped() const { return segments_dropped_; }
+  std::size_t segment_count() const { return segs_.size(); }
+  /// Bytes across live segments (compaction tests bound this).
+  std::uint64_t log_bytes() const;
+
+ private:
+  struct Segment {
+    std::uint64_t index{0};  // monotonic creation index (file name)
+    std::string name;
+    std::unique_ptr<storage::StorageFile> file;
+    std::uint64_t size{0};  // logical append offset
+    bool has_msgs{false};
+    SeqNum first_seq{0};
+    SeqNum end_seq{0};  // exclusive
+    bool has_view{false};
+  };
+  struct RecordRef {
+    std::uint64_t seg_index{0};
+    std::uint64_t offset{0};  // frame start (crc field)
+    std::uint32_t len{0};     // full frame length
+  };
+
+  Status ensure_active(SeqNum base_hint);
+  Status rotate(SeqNum base_hint);
+  Status append_frame(std::span<const std::uint8_t> payload, bool is_msg,
+                      SeqNum seq);
+  Status reset_all();
+  Segment* find_segment(std::uint64_t index);
+  static std::string segment_name(std::uint64_t index);
+  static std::optional<std::uint64_t> parse_segment_name(const std::string& n);
+
+  storage::Storage& st_;
+  DurableLogOptions opts_;
+
+  std::deque<Segment> segs_;
+  std::uint64_t next_index_{0};
+  std::deque<RecordRef> index_;  // index_[seq_distance(lo_, s)] for s in [lo_, hi_)
+
+  bool any_{false};
+  SeqNum lo_{0}, hi_{0}, durable_hi_{0};
+  bool dirty_{false};
+  /// Segment holding the latest view record — never compacted away.
+  std::optional<std::uint64_t> last_view_seg_;
+  /// Finished segments whose rotation-time fsync failed; retried by sync().
+  std::vector<std::uint64_t> pending_sync_;
+  std::optional<LogViewRecord> recovered_view_;
+  std::optional<SeqNum> ckpt_as_of_;
+
+  std::uint64_t appends_{0};
+  std::uint64_t fsyncs_{0};
+  std::uint64_t resets_{0};
+  std::uint64_t segments_dropped_{0};
+};
+
+}  // namespace amoeba::group

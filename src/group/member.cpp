@@ -9,6 +9,7 @@
 
 #include "common/logging.hpp"
 #include "group/backoff.hpp"
+#include "group/durable_log.hpp"
 #include "group/trace_events.hpp"
 
 namespace amoeba::group {
@@ -56,6 +57,8 @@ GroupMember::GroupMember(flip::FlipStack& flip, transport::Executor& exec,
                           if (!i_am_sequencer() || !cfg_.auto_expel) return;
                           const MemberInfo* info = find_member(suspect);
                           if (info == nullptr) return;
+                          // Its expulsion is already in the stream.
+                          if (pending_leaves_.count(suspect) > 0) return;
                           MembershipChange c;
                           c.member = suspect;
                           c.address = info->address;
@@ -76,6 +79,8 @@ GroupMember::~GroupMember() {
   exec_.cancel_timer(status_timer_);
   exec_.cancel_timer(join_timer_);
   exec_.cancel_timer(tentative_sweep_timer_);
+  exec_.cancel_timer(log_sync_timer_);
+  exec_.cancel_timer(fsync_timer_);
   if (recovery_.has_value()) exec_.cancel_timer(recovery_->timer);
   for (Outgoing& o : outs_) exec_.cancel_timer(o.timer);
   flip_.unregister_endpoint(my_addr_);
@@ -286,6 +291,11 @@ void GroupMember::install_view(bool from_recovery) {
   if (!outs_.empty() && state_ == State::running) {
     transmit_all_outstanding();
   }
+  if (log_active() && state_ == State::running) {
+    // Identity + view epoch on disk: what recover_from_log restores.
+    log_persist_view();
+    if (fsync_timer_ == transport::kInvalidTimer) start_fsync_timer();
+  }
 }
 
 void GroupMember::enter_failed(Status why) {
@@ -296,6 +306,13 @@ void GroupMember::enter_failed(Status why) {
   status_timer_ = transport::kInvalidTimer;
   exec_.cancel_timer(nack_timer_);
   nack_timer_ = transport::kInvalidTimer;
+  exec_.cancel_timer(fsync_timer_);
+  fsync_timer_ = transport::kInvalidTimer;
+  exec_.cancel_timer(log_sync_timer_);
+  log_sync_timer_ = transport::kInvalidTimer;
+  // Deferred group-commit completions are still in outs_; the sweep below
+  // finishes them with `why`.
+  pending_durable_.clear();
   detector_.reset();
   // Discard (never flush) anything still batched: recovery rebuilds from
   // the delivered prefix, and a half-flushed tail would leave survivors
@@ -513,10 +530,17 @@ void GroupMember::dispatch(const flip::Address& src, WireMsg m) {
       rep.type = WireType::status_rep;
       rep.sender = my_id_;
       rep.piggyback = next_deliver_;
+      // Checkpoint horizon rides along: keeps the sequencer's compaction
+      // ack map fresh even when the explicit ckpt_horizon message is lost.
+      rep.range_from = my_ckpt_horizon_;
+      rep.range_count = have_ckpt_ ? 1 : 0;
       send_to_sequencer(std::move(rep));
       break;
     }
     case WireType::status_rep:
+      if (i_am_sequencer() && m.range_count != 0) {
+        seq_note_ckpt_horizon(m.sender, m.range_from);
+      }
       // Horizon already noted above. Two consecutive heartbeats reporting
       // the same lagging horizon mean the member lost the tail of the
       // stream (nothing in flight will fill its gap): serve it. A single
@@ -532,6 +556,22 @@ void GroupMember::dispatch(const flip::Address& src, WireMsg m) {
       break;
     case WireType::leave_req:
       if (i_am_sequencer()) seq_on_leave(m);
+      break;
+    case WireType::ckpt_horizon:
+      if (i_am_sequencer()) seq_note_ckpt_horizon(m.sender, m.seq);
+      break;
+    case WireType::compaction_notice:
+      // Group-agreed horizon: every member's checkpoint covers [.., seq),
+      // so log segments entirely below it may be deleted everywhere.
+      stats_.compaction_horizon.store(m.seq);
+      if (log_ != nullptr && log_->compact(m.seq) == Status::ok &&
+          !log_->empty() && seq_le(log_->lo(), log_->durable_hi())) {
+        // Re-report the durable range: the oracle's restart obligation
+        // anchors at the last log_sync event, and compaction just moved
+        // its floor (the dropped records live on in checkpoints, not as
+        // log records).
+        GTRACE(log_sync, .seq = log_->durable_hi(), .a = log_->lo());
+      }
       break;
     case WireType::fc_rts:
       if (i_am_sequencer()) seq_on_rts(m);
@@ -907,6 +947,9 @@ void GroupMember::deliver(SeqNum seq, PendingMsg msg) {
   GTRACE(deliver, .mkind = gm.kind, .peer = gm.sender, .seq = seq,
          .msg_id = gm.sender_msg_id, .a = check::fingerprint(gm.data));
 
+  bool appended = false;
+  if (log_active()) appended = log_append_delivery(gm);
+
   if (i_am_sequencer()) {
     horizon_[my_id_] = next_deliver_;
     seq_trim_history();
@@ -914,8 +957,22 @@ void GroupMember::deliver(SeqNum seq, PendingMsg msg) {
 
   // Our own message coming back ordered is the accept signal for
   // SendToGroup (r = 0: the broadcast itself; r > 0: the final accept).
+  // Under group_commit the signal is deferred to the covering fsync: an
+  // `ok` completion then implies the message survives our own
+  // crash-with-disk, not just r other kernels' memory.
   if (gm.sender == my_id_) {
-    complete_entry(gm.sender_msg_id, Status::ok);
+    if (log_active() && cfg_.durability == Durability::group_commit &&
+        gm.kind == MessageKind::app) {
+      if (appended) {
+        pending_durable_.push_back({gm.sender_msg_id, seq});
+      } else {
+        // The record never reached the log (write fault): honest typed
+        // failure rather than a durability promise we cannot keep.
+        complete_entry(gm.sender_msg_id, Status::io_error);
+      }
+    } else {
+      complete_entry(gm.sender_msg_id, Status::ok);
+    }
   }
 
   if (gm.kind != MessageKind::app) {
@@ -1041,6 +1098,8 @@ void GroupMember::on_status_timer() {
     m.type = WireType::status_rep;
     m.sender = my_id_;
     m.piggyback = next_deliver_;
+    m.range_from = my_ckpt_horizon_;
+    m.range_count = have_ckpt_ ? 1 : 0;
     send_to_sequencer(std::move(m));
   }
   start_status_timer();
@@ -1091,6 +1150,12 @@ void GroupMember::apply_membership(const GroupMessage& msg) {
         batch_.clear();
         pending_accepts_.clear();
         batch_bytes_pending_ = 0;
+        // Compaction acks belong to the previous sequencer; members
+        // re-report their horizons on the next status exchange.
+        ckpt_acks_.clear();
+        announced_compaction_ = 0;
+        announced_any_ = false;
+        if (have_ckpt_) seq_note_ckpt_horizon(my_id_, my_ckpt_horizon_);
       }
       if (change->member == my_id_) {
         // We were the old sequencer: the transfer is complete.
@@ -1116,6 +1181,9 @@ void GroupMember::apply_membership(const GroupMessage& msg) {
       last_status_horizon_.erase(change->member);
       pending_leaves_.erase(change->member);
       sender_state_.erase(change->member);
+      // A departed member's checkpoint ack must not pin (or count toward)
+      // the group's compaction horizon.
+      ckpt_acks_.erase(change->member);
       // A departed member must not hold (or wait for) a flow-control slot.
       if (i_am_sequencer()) {
         std::erase_if(fc_queue_, [&](const auto& e) {
@@ -1162,6 +1230,10 @@ void GroupMember::apply_membership(const GroupMessage& msg) {
           batch_.clear();
           pending_accepts_.clear();
           batch_bytes_pending_ = 0;
+          ckpt_acks_.clear();
+          announced_compaction_ = 0;
+          announced_any_ = false;
+          if (have_ckpt_) seq_note_ckpt_horizon(my_id_, my_ckpt_horizon_);
         }
       } else if (i_am_sequencer()) {
         // A member left: its horizon no longer constrains the history, and
@@ -1174,6 +1246,9 @@ void GroupMember::apply_membership(const GroupMessage& msg) {
           if (ready) seq_finalize(s);
         }
         seq_trim_history();
+        // The departed member may have been the straggler holding the
+        // compaction horizon back.
+        seq_maybe_announce_compaction();
       }
       break;
     }
@@ -1183,6 +1258,208 @@ void GroupMember::apply_membership(const GroupMessage& msg) {
   install_view(false);
 }
 
+// --------------------------------------------------------------------------
+// Durable log (EXTENSION: ROADMAP item 4; see docs/DURABILITY.md)
+// --------------------------------------------------------------------------
+
+bool GroupMember::log_active() const {
+  return log_ != nullptr && cfg_.durability != Durability::off;
+}
+
+void GroupMember::set_durable_log(DurableLog* log) {
+  log_ = log;
+  if (log_ == nullptr) return;
+  stats_.log_appends.store(log_->appends());
+  stats_.log_fsyncs.store(log_->fsyncs());
+  // Attaching a recovered (non-empty) log to an idle member: announce what
+  // the disk brought back so the oracle can hold it against the pre-crash
+  // sync horizon, even when the app skips recover_from_log.
+  if (state_ == State::idle && !log_->empty()) {
+    emit_log_recovery_events(*log_);
+  }
+  if (state_ == State::running && cfg_.durability != Durability::off) {
+    start_fsync_timer();
+  }
+}
+
+bool GroupMember::log_append_delivery(const GroupMessage& gm) {
+  const Status s = log_->append_message(
+      gm.seq, inc_, gm.sender, gm.kind, gm.sender_msg_id,
+      std::span<const std::uint8_t>(gm.data.data(), gm.data.size()));
+  stats_.log_appends.store(log_->appends());
+  if (cfg_.durability == Durability::group_commit) schedule_log_sync();
+  return s == Status::ok;
+}
+
+void GroupMember::log_persist_view() {
+  LogViewRecord v;
+  v.group = gaddr_;
+  v.inc = inc_;
+  v.my_id = my_id_;
+  v.sequencer = seq_id_;
+  v.next_deliver = next_deliver_;
+  v.members = members_;
+  (void)log_->append_view(v);
+  if (cfg_.durability == Durability::group_commit) schedule_log_sync();
+}
+
+void GroupMember::schedule_log_sync() {
+  // Group commit: one fsync covers every append of this executor round
+  // (the Accept boundary) — deliveries batch into a single barrier instead
+  // of paying one fsync per message.
+  if (log_sync_scheduled_) return;
+  log_sync_scheduled_ = true;
+  exec_.post_idle([this] {
+    log_sync_scheduled_ = false;
+    flush_log();
+  });
+}
+
+void GroupMember::flush_log() {
+  if (log_ == nullptr) return;
+  if (log_->dirty()) {
+    const Status s = log_->sync();
+    stats_.log_fsyncs.store(log_->fsyncs());
+    if (s != Status::ok) {
+      // Failed barrier: nothing new became durable, completions stay
+      // pending. Retry shortly — a transient fault heals, a persistent one
+      // keeps sends pending until their own budget surfaces the failure.
+      if (log_sync_timer_ == transport::kInvalidTimer) {
+        log_sync_timer_ = exec_.set_timer(Duration::millis(1), [this] {
+          log_sync_timer_ = transport::kInvalidTimer;
+          flush_log();
+        });
+      }
+      return;
+    }
+    GTRACE(log_sync, .seq = log_->durable_hi(), .a = log_->lo());
+  }
+  if (pending_durable_.empty()) return;
+  const SeqNum durable_hi = log_->durable_hi();
+  const SeqNum lo = log_->lo();
+  const bool log_empty = log_->empty();
+  auto pending = std::move(pending_durable_);
+  pending_durable_.clear();
+  std::vector<PendingDurable> still;
+  for (const PendingDurable& p : pending) {
+    if (!log_empty && seq_ge(p.seq, lo) && seq_lt(p.seq, durable_hi)) {
+      complete_entry(p.msg_id, Status::ok);
+    } else if (log_empty || seq_lt(p.seq, lo)) {
+      // The record fell out of the log before it became durable (write
+      // fault consumed by a log reset): typed failure, never a hang.
+      complete_entry(p.msg_id, Status::io_error);
+    } else {
+      still.push_back(p);
+    }
+  }
+  for (const PendingDurable& p : still) pending_durable_.push_back(p);
+}
+
+void GroupMember::start_fsync_timer() {
+  if (log_ == nullptr || cfg_.durability != Durability::async) return;
+  exec_.cancel_timer(fsync_timer_);
+  fsync_timer_ = exec_.set_timer(cfg_.fsync_interval, [this] {
+    fsync_timer_ = transport::kInvalidTimer;
+    if (state_ != State::running) return;
+    if (log_ != nullptr && log_->dirty()) flush_log();
+    start_fsync_timer();
+  });
+}
+
+void GroupMember::emit_log_recovery_events(DurableLog& log) {
+  GTRACE(restart, .seq = log.hi(), .a = log.lo());
+  for (SeqNum s = log.lo(); seq_lt(s, log.hi()); ++s) {
+    auto rec = log.read_message(s);
+    if (!rec.has_value()) continue;
+    GTRACE_AT_INC(log_recover, rec->inc, .mkind = rec->kind,
+                  .peer = rec->sender, .seq = rec->seq,
+                  .msg_id = rec->msg_id, .a = check::fingerprint(rec->data));
+  }
+}
+
+void GroupMember::note_checkpoint(SeqNum as_of) {
+  ++stats_.checkpoints_taken;
+  if (!have_ckpt_ || seq_gt(as_of, my_ckpt_horizon_)) {
+    my_ckpt_horizon_ = as_of;  // horizons only advance
+  }
+  have_ckpt_ = true;
+  if (state_ != State::running) return;
+  if (i_am_sequencer()) {
+    seq_note_ckpt_horizon(my_id_, my_ckpt_horizon_);
+    return;
+  }
+  WireMsg m;
+  m.type = WireType::ckpt_horizon;
+  m.sender = my_id_;
+  m.seq = my_ckpt_horizon_;
+  m.piggyback = next_deliver_;
+  // Best effort: loss is repaired by the horizon riding every subsequent
+  // status heartbeat.
+  send_to_sequencer(std::move(m));
+}
+
+Status GroupMember::recover_from_log(DurableLog* log) {
+  if (state_ != State::idle || log == nullptr) {
+    return Status::invalid_argument;
+  }
+  const auto& view = log->recovered_view();
+  if (!view.has_value()) return Status::no_such_group;
+  if (const Status s = cfg_.normalize(); s != Status::ok) return s;
+  log_ = log;
+  gaddr_ = view->group;
+  inc_ = view->inc;
+  my_id_ = view->my_id;
+  seq_id_ = view->sequencer;
+  members_ = view->members;
+  std::sort(members_.begin(), members_.end(),
+            [](const MemberInfo& a, const MemberInfo& b) { return a.id < b.id; });
+  for (const MemberInfo& m : members_) {
+    if (m.id >= next_member_id_) next_member_id_ = m.id + 1;
+  }
+  // Delivered prefix: the persisted view's position, advanced over any
+  // messages logged after that view was written.
+  next_deliver_ = view->next_deliver;
+  if (!log->empty() && seq_gt(log->hi(), next_deliver_)) {
+    next_deliver_ = log->hi();
+  }
+  hist_base_ = next_deliver_;
+  history_.clear();
+  recovered_from_log_ = true;
+  stats_.log_appends.store(log->appends());
+  stats_.log_fsyncs.store(log->fsyncs());
+  emit_log_recovery_events(*log);
+  // Failed, not running: the group moved on without us. From here the
+  // application either joins a ResetGroup (our durable suffix counts as
+  // retrievable history) or calls rejoin_group().
+  state_ = State::failed;
+  flip_.join_group(gaddr_, [this](flip::Address src, flip::Address,
+                                  BufView bytes) {
+    on_group_packet(src, std::move(bytes));
+  });
+  return Status::ok;
+}
+
+void GroupMember::rejoin_group(StatusCb done) {
+  if (state_ != State::failed || !recovered_from_log_) {
+    done(Status::invalid_argument);
+    return;
+  }
+  // Shed the recovered membership and rejoin through the ordinary join
+  // path: the sequencer answers with a snapshot positioning us at the live
+  // stream (checkpoint + log-suffix state transfer fills the app state).
+  abandon_recovery();
+  const flip::Address group = gaddr_;
+  flip_.leave_group(gaddr_);
+  gaddr_ = flip::Address{};
+  members_.clear();
+  ooo_.clear();
+  bb_stash_.clear();
+  catchup_to_.reset();
+  leaving_ = false;
+  state_ = State::idle;
+  join_group(group, std::move(done));
+}
+
 std::string GroupMember::describe(const WireMsg& msg) {
   static constexpr const char* kNames[] = {
       "?",           "data_pb",      "data_bb",       "seq_data",
@@ -1190,7 +1467,8 @@ std::string GroupMember::describe(const WireMsg& msg) {
       "status_req",  "status_rep",   "join_req",      "join_snapshot",
       "leave_req",   "reset_invite", "reset_vote",    "reset_retrieve",
       "reset_missing", "reset_result", "fc_rts",      "fc_cts",
-      "seq_packed",  "seq_accept_range",
+      "seq_packed",  "seq_accept_range", "ckpt_horizon",
+      "compaction_notice",
   };
   const auto t = static_cast<std::size_t>(msg.type);
   char buf[160];

@@ -74,7 +74,15 @@ struct GroupStats {
   RelaxedCounter retransmit_cache_hits;   // NACKs served from cached frames
   RelaxedCounter retransmit_payload_encodes;  // NACKs that had to re-encode
   RelaxedCounter history_evictions;  // ring overwrote its oldest entry
+  // Durable log / checkpoint / compaction observability (ROADMAP item 4).
+  RelaxedCounter log_appends;        // records appended to the durable log
+  RelaxedCounter log_fsyncs;         // fsync barriers issued
+  RelaxedCounter checkpoints_taken;  // note_checkpoint() calls
+  /// Gauge: latest group-agreed compaction horizon this member applied.
+  RelaxedCounter compaction_horizon;
 };
+
+class DurableLog;
 
 class GroupMember {
  public:
@@ -153,6 +161,29 @@ class GroupMember {
   /// null-check per site when unset; compiled out with AMOEBA_TRACE=OFF.
   void set_trace_ring(check::TraceRing* ring) { trace_ring_ = ring; }
 
+  // --- Durable log (EXTENSION: ROADMAP item 4; see docs/DURABILITY.md) ----
+  /// Attach an opened durable log. With cfg.durability != off every
+  /// delivery is appended; group_commit additionally defers own-send `ok`
+  /// completions to the covering fsync. If the log holds recovered
+  /// content, a `restart` event plus one `log_recover` event per message
+  /// are emitted for the oracle's durability-across-restart obligations.
+  void set_durable_log(DurableLog* log);
+  DurableLog* durable_log() const { return log_; }
+  /// Crash-restart-with-disk: restore identity, view epoch, and
+  /// delivered-seq from a recovered log. Leaves the member in State::failed
+  /// under its old identity, listening on the recovered group address — the
+  /// application then either participates in ResetGroup (its durable
+  /// suffix counts as retrievable history) or calls rejoin_group().
+  Status recover_from_log(DurableLog* log);
+  /// From failed-after-recover_from_log: shed the recovered membership and
+  /// rejoin the (still live) group through the ordinary join path.
+  void rejoin_group(StatusCb done);
+  /// Application checkpoint notification: deliveries < as_of are covered
+  /// by a persisted snapshot. Acked to the sequencer; once every member's
+  /// ack covers a horizon, a compaction_notice lets all logs drop
+  /// segments below it.
+  void note_checkpoint(SeqNum as_of);
+
   /// Human-readable one-liner for a wire message (tracing, logs, tests).
   static std::string describe(const WireMsg& msg);
   flip::Address address() const { return my_addr_; }
@@ -222,6 +253,16 @@ class GroupMember {
   void start_status_timer();
   void on_status_timer();
 
+  // --- Durable log hooks (member.cpp) --------------------------------------
+  bool log_active() const;
+  /// True iff the record reached the log (not necessarily synced yet).
+  bool log_append_delivery(const GroupMessage& gm);
+  void log_persist_view();
+  void schedule_log_sync();
+  void flush_log();
+  void start_fsync_timer();
+  void emit_log_recovery_events(DurableLog& log);
+
   // --- Sequencer side ---------------------------------------------------------
   struct Tentative {
     PendingMsg msg;
@@ -248,6 +289,10 @@ class GroupMember {
   void seq_on_nack(const WireMsg& m);
   void seq_serve_retransmit(MemberId to, SeqNum seq);
   void seq_note_horizon(MemberId member, SeqNum piggyback);
+  /// Compaction protocol: record a member's checkpoint horizon and, when
+  /// every current member has acked one, announce the group minimum.
+  void seq_note_ckpt_horizon(MemberId member, SeqNum as_of);
+  void seq_maybe_announce_compaction();
   void seq_trim_history();
   void seq_check_laggards();
   void seq_issue_membership(MessageKind kind, const MembershipChange& change);
@@ -449,6 +494,30 @@ class GroupMember {
   /// Highest incarnation seen in any recovery message; a fresh coordinacy
   /// must outbid every earlier attempt.
   Incarnation max_inc_seen_{0};
+
+  // Durable log (EXTENSION: ROADMAP item 4). Owned by the embedder (test
+  // harness / application); null means memory-only, the paper's protocol.
+  DurableLog* log_{nullptr};
+  bool log_sync_scheduled_{false};
+  transport::TimerId log_sync_timer_{transport::kInvalidTimer};
+  transport::TimerId fsync_timer_{transport::kInvalidTimer};
+  /// group_commit: own sends delivered but awaiting the covering fsync.
+  struct PendingDurable {
+    std::uint32_t msg_id{0};
+    SeqNum seq{0};
+  };
+  std::vector<PendingDurable> pending_durable_;
+  /// Did recover_from_log restore a crashed identity (enables rejoin)?
+  bool recovered_from_log_{false};
+  /// Our own latest checkpoint horizon (acked to the sequencer).
+  SeqNum my_ckpt_horizon_{0};
+  bool have_ckpt_{false};
+  // Sequencer: per-member checkpoint horizons. Entries for departed
+  // members are erased in apply_membership — a stale ack must never pin
+  // (or falsely advance) the group's compaction horizon.
+  std::map<MemberId, SeqNum> ckpt_acks_;
+  SeqNum announced_compaction_{0};
+  bool announced_any_{false};
 };
 
 }  // namespace amoeba::group

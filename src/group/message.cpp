@@ -66,7 +66,7 @@ std::optional<WireMsg> decode_wire(BufView bytes) {
   const std::uint32_t payload_len = load_le32(p + 39);
   if (bytes.size() - kHeaderBytes != payload_len) return std::nullopt;
   const auto t = static_cast<std::uint8_t>(m.type);
-  if (t < 1 || t > static_cast<std::uint8_t>(WireType::seq_accept_range)) {
+  if (t < 1 || t > static_cast<std::uint8_t>(WireType::compaction_notice)) {
     return std::nullopt;
   }
   // Zero-copy: the payload is a slice of the datagram, and the steal keeps
@@ -263,6 +263,8 @@ Buffer encode_vote(const Vote& v) {
   w.u32(v.hist_hi);
   w.u32(static_cast<std::uint32_t>(v.tentative.size()));
   for (const SeqNum s : v.tentative) w.u32(s);
+  w.u32(v.durable_lo);
+  w.u32(v.durable_hi);
   return std::move(w).take();
 }
 
@@ -278,6 +280,8 @@ std::optional<Vote> decode_vote(std::span<const std::uint8_t> bytes) {
   if (!r.ok() || n > 65536) return std::nullopt;
   v.tentative.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) v.tentative.push_back(r.u32());
+  v.durable_lo = r.u32();
+  v.durable_hi = r.u32();
   if (!r.ok()) return std::nullopt;
   return v;
 }

@@ -53,6 +53,8 @@ enum class WireType : std::uint8_t {
   fc_cts,         // sequencer -> sender: slot granted, transmit
   seq_packed,     // sequencer -> group: several consecutive stamped messages
   seq_accept_range,  // sequencer -> group: accepts for [range_from, +count)
+  ckpt_horizon,      // member -> sequencer: checkpoint covers [.., seq)
+  compaction_notice, // sequencer -> group: all members checkpointed < seq
 };
 
 /// Flag bits in WireMsg::flags.
@@ -174,6 +176,12 @@ struct Vote {
   SeqNum hist_hi{0};
   /// Tentative (not yet accepted) sequence numbers buffered beyond hi.
   std::vector<SeqNum> tentative;
+  /// Contiguous span held on this member's durable log: [durable_lo,
+  /// durable_hi). Empty (lo == hi) when the member runs without a log.
+  /// Recovery treats it like a second history range, which is what lets
+  /// ResetGroup prefer the longest durable suffix among survivors.
+  SeqNum durable_lo{0};
+  SeqNum durable_hi{0};
 };
 Buffer encode_vote(const Vote& v);
 std::optional<Vote> decode_vote(std::span<const std::uint8_t> bytes);

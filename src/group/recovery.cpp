@@ -29,6 +29,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "group/durable_log.hpp"
 #include "group/member.hpp"
 #include "group/trace_events.hpp"
 
@@ -95,6 +96,14 @@ Vote GroupMember::local_vote() const {
   v.hist_hi = hist_base_ + static_cast<SeqNum>(history_.size());
   for (const auto& [seq, msg] : ooo_) {
     if (msg.have_data) v.tentative.push_back(seq);
+  }
+  // Durable suffix: only the synced range — an un-synced tail is already
+  // covered by the in-memory ranges above, and after a crash-with-disk
+  // restart it does not exist. This is what lets ResetGroup prefer the
+  // longest durable suffix among survivors.
+  if (log_ != nullptr && !log_->empty()) {
+    v.durable_lo = log_->lo();
+    v.durable_hi = log_->durable_hi();
   }
   return v;
 }
@@ -216,6 +225,7 @@ void GroupMember::coord_try_conclude() {
   const auto available = [&](SeqNum s) {
     for (const auto& [id, v] : r.votes) {
       if (seq_ge(s, v.hist_lo) && seq_lt(s, v.hist_hi)) return true;
+      if (seq_ge(s, v.durable_lo) && seq_lt(s, v.durable_hi)) return true;
       if (std::find(v.tentative.begin(), v.tentative.end(), s) !=
           v.tentative.end()) {
         return true;
@@ -303,6 +313,7 @@ void GroupMember::coord_request_missing() {
       if (id == my_id_) continue;
       const bool has =
           (seq_ge(s, v.hist_lo) && seq_lt(s, v.hist_hi)) ||
+          (seq_ge(s, v.durable_lo) && seq_lt(s, v.durable_hi)) ||
           std::find(v.tentative.begin(), v.tentative.end(), s) !=
               v.tentative.end();
       if (!has) continue;
@@ -342,6 +353,15 @@ void GroupMember::on_reset_retrieve(const flip::Address& src,
       rm.kind = it->second.kind;
       rm.msg_id = it->second.msg_id;
       rm.data = it->second.data;
+    } else if (auto rec = log_ != nullptr ? log_->read_message(s)
+                                          : std::optional<LogRecord>{};
+               rec.has_value()) {
+      // Durable fallback: a crash-restarted member's memory is empty, but
+      // its log still serves the suffix it advertised in its vote.
+      rm.sender = rec->sender;
+      rm.kind = rec->kind;
+      rm.msg_id = rec->msg_id;
+      rm.data = rec->data;  // BufView share keeps the read buffer alive
     } else {
       continue;
     }
@@ -407,7 +427,13 @@ void GroupMember::coord_finish() {
   batch_.clear();
   pending_accepts_.clear();
   batch_bytes_pending_ = 0;
+  // Compaction acks are per-regime: members re-report on the next status
+  // exchange (and we re-note our own checkpoint below).
+  ckpt_acks_.clear();
+  announced_compaction_ = 0;
+  announced_any_ = false;
   state_ = State::running;
+  if (have_ckpt_) seq_note_ckpt_horizon(my_id_, my_ckpt_horizon_);
 
   // Promote the rebuilt stream: everything in [next_deliver_, target) is
   // now accepted; deliver it locally in order.

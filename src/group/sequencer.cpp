@@ -9,6 +9,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "group/durable_log.hpp"
 #include "group/member.hpp"
 #include "group/trace_events.hpp"
 
@@ -166,7 +167,11 @@ std::set<MemberId> GroupMember::resil_ackers(MemberId sender) const {
   // the local dispatch path (no wire traffic, but real processing).
   std::set<MemberId> out;
   for (const MemberInfo& m : members_) {
-    if (m.id < cfg_.resilience && m.id != sender) {
+    // A member whose leave/expel is already sequenced (pending_leaves_)
+    // will never ack again; picking it would wedge the message until the
+    // change delivers — which itself sits behind the wedge.
+    if (m.id < cfg_.resilience && m.id != sender &&
+        pending_leaves_.count(m.id) == 0) {
       out.insert(m.id);
     }
   }
@@ -400,6 +405,12 @@ void GroupMember::seq_tentative_sweep() {
     if (now - t.created < cfg_.send_retry / 2) continue;
     for (const MemberId m : t.awaiting) {
       seq_serve_retransmit(m, seq);
+      // "If after a certain number of trials a process does not respond,
+      // the process is declared dead" (Section 2.1). An acker that stays
+      // silent across repeated re-offers wedges the whole stream (nothing
+      // past this seq can deliver), so hand it to the failure detector:
+      // a live-but-slow member answers the probe and is cleared.
+      if (now - t.created >= cfg_.send_retry * 2) detector_.suspect(m);
     }
   }
   tentative_sweep_timer_ =
@@ -484,6 +495,15 @@ void GroupMember::seq_serve_retransmit(MemberId to, SeqNum seq) {
     m.msg_id = o->second.msg_id;
     m.kind = o->second.kind;
     m.payload = o->second.data;
+  } else if (auto rec = log_ != nullptr ? log_->read_message(seq)
+                                        : std::optional<LogRecord>{};
+             rec.has_value()) {
+    // Durable-log fallback: the memory history already trimmed past this
+    // seq but the log still holds it (compaction lags the history window).
+    m.sender = rec->sender;
+    m.msg_id = rec->msg_id;
+    m.kind = rec->kind;
+    m.payload = rec->data;  // shares the record's buffer; outlives `rec`
   } else {
     ++stats_.retransmit_misses;
     return;
@@ -521,6 +541,44 @@ void GroupMember::seq_note_horizon(MemberId member, SeqNum piggyback) {
   detector_.clear(member);  // it answered; not a laggard
   seq_trim_history();
   if (leaving_ && !handoff_issued_) check_sequencer_handoff();
+}
+
+void GroupMember::seq_note_ckpt_horizon(MemberId member, SeqNum as_of) {
+  if (!i_am_sequencer() || member == kInvalidMember) return;
+  if (find_member(member) == nullptr) return;  // departed / stale
+  auto [it, inserted] = ckpt_acks_.try_emplace(member, as_of);
+  if (!inserted) {
+    if (seq_le(as_of, it->second)) return;  // horizons only advance
+    it->second = as_of;
+  }
+  seq_maybe_announce_compaction();
+}
+
+void GroupMember::seq_maybe_announce_compaction() {
+  if (!i_am_sequencer() || members_.empty()) return;
+  // The horizon is the minimum over *current* members; a member that has
+  // never checkpointed pins compaction entirely (its log still needs the
+  // full suffix should it have to serve recovery or state transfer).
+  SeqNum min_h = 0;
+  bool first = true;
+  for (const MemberInfo& m : members_) {
+    const auto it = ckpt_acks_.find(m.id);
+    if (it == ckpt_acks_.end()) return;
+    min_h = first ? it->second : seq_min(min_h, it->second);
+    first = false;
+  }
+  if (announced_any_ && seq_le(min_h, announced_compaction_)) return;
+  announced_compaction_ = min_h;
+  announced_any_ = true;
+  WireMsg m;
+  m.type = WireType::compaction_notice;
+  m.sender = my_id_;
+  m.seq = min_h;
+  m.piggyback = next_deliver_;
+  // Loops back to us like any group frame, so our own log compacts through
+  // the same dispatch path as everyone else's. Loss is repaired by the
+  // next announcement (horizons keep advancing).
+  multicast(std::move(m));
 }
 
 void GroupMember::seq_trim_history() {
@@ -565,6 +623,22 @@ void GroupMember::seq_check_laggards() {
 void GroupMember::seq_issue_membership(MessageKind kind,
                                        const MembershipChange& change) {
   assert(i_am_sequencer());
+  if (kind == MessageKind::leave || kind == MessageKind::expel) {
+    // The departing member must stop gating resilience NOW, not when the
+    // change delivers: the leave/expel itself is sequenced after any
+    // wedged tentative, so waiting for delivery would deadlock. Scrub it
+    // from every pending tentative (finalizing any now satisfied) and —
+    // via pending_leaves_, cleared when the change applies — from the
+    // acker choice for messages stamped in the interim.
+    pending_leaves_.insert(change.member);
+    std::vector<SeqNum> ready;
+    for (auto& [seq, t] : tentative_) {
+      if (t.awaiting.erase(change.member) > 0 && t.awaiting.empty()) {
+        ready.push_back(seq);
+      }
+    }
+    for (const SeqNum s : ready) seq_finalize(s);
+  }
   seq_assign(my_id_, 0, kind, encode_membership_change(change),
              /*via_bb=*/false);
 }

@@ -4,10 +4,15 @@ namespace amoeba::group {
 
 SimProcess::SimProcess(sim::Node& node, flip::Address addr, GroupConfig cfg,
                        std::uint64_t fault_seed)
-    : node_(node), exec_(node), dev_(node), faults_(dev_, exec_, fault_seed),
-      flip_(exec_, faults_) {
+    : node_(node), addr_(addr), cfg_(cfg),
+      trace_ring_(std::make_unique<check::TraceRing>()), exec_(node),
+      dev_(node), faults_(dev_, exec_, fault_seed), flip_(exec_, faults_) {
+  make_member();
+}
+
+void SimProcess::make_member() {
   member_ = std::make_unique<GroupMember>(
-      flip_, exec_, addr, cfg,
+      flip_, exec_, addr_, cfg_,
       GroupMember::Callbacks{
           .on_message =
               [this](const GroupMessage& m) {
@@ -40,7 +45,46 @@ SimProcess::SimProcess(sim::Node& node, flip::Address addr, GroupConfig cfg,
           .on_view = [this](const ViewChange& v) { views_.push_back(v); },
           .on_fault = [this](Status s) { fault_ = s; },
       });
-  member_->set_trace_ring(&trace_ring_);
+  member_->set_trace_ring(trace_ring_.get());
+}
+
+void SimProcess::enable_durability() {
+  if (!storage_) storage_ = std::make_unique<storage::MemStorage>();
+  log_ = std::make_unique<DurableLog>(
+      *storage_, DurableLogOptions{.segment_bytes = cfg_.log_segment_bytes});
+  (void)log_->open();
+  member_->set_durable_log(log_.get());
+}
+
+void SimProcess::crash_with_disk(
+    const storage::MemStorage::CrashOptions& opts) {
+  node_.crash();
+  // Close the log first (its open handles pin removed files, like POSIX
+  // fds), then lose what was never synced.
+  member_->set_durable_log(nullptr);
+  log_.reset();
+  if (storage_) storage_->crash_unsynced(opts);
+}
+
+Status SimProcess::restart_from_disk() {
+  member_.reset();  // the old life dies with the node
+  node_.restart();
+  trace_ring_ = std::make_unique<check::TraceRing>();
+  delivered_.clear();
+  views_.clear();
+  fault_.reset();
+  make_member();
+  if (!storage_) return Status::invalid_argument;
+  log_ = std::make_unique<DurableLog>(
+      *storage_, DurableLogOptions{.segment_bytes = cfg_.log_segment_bytes});
+  if (const Status s = log_->open(); s != Status::ok) return s;
+  const Status s = member_->recover_from_log(log_.get());
+  if (s != Status::ok) {
+    // Disk held no usable view (e.g. crashed before the first sync):
+    // the member starts over as a fresh joiner, but keeps logging.
+    member_->set_durable_log(log_.get());
+  }
+  return s;
 }
 
 void SimProcess::user_send(Buffer data, GroupMember::StatusCb done) {
@@ -59,7 +103,9 @@ SimGroupHarness::SimGroupHarness(std::size_t n_processes, GroupConfig cfg,
     procs_.push_back(std::make_unique<SimProcess>(
         world_.node(i), flip::process_address(next_addr_++), cfg_,
         seed_ ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
-    collector_.attach("m" + std::to_string(i), &procs_.back()->trace_ring());
+    labels_.push_back("m" + std::to_string(i));
+    restart_counts_.push_back(0);
+    collector_.attach(labels_.back(), &procs_.back()->trace_ring());
   }
 }
 
@@ -68,13 +114,40 @@ SimProcess& SimGroupHarness::add_process() {
   procs_.push_back(std::make_unique<SimProcess>(
       node, flip::process_address(next_addr_++), cfg_,
       seed_ ^ (0x9E3779B97F4A7C15ULL * (procs_.size() + 1))));
+  labels_.push_back("m" + std::to_string(procs_.size() - 1));
+  restart_counts_.push_back(0);
   if (tracing_) {
-    collector_.attach("m" + std::to_string(procs_.size() - 1),
-                      &procs_.back()->trace_ring());
+    collector_.attach(labels_.back(), &procs_.back()->trace_ring());
   } else {
     procs_.back()->member().set_trace_ring(nullptr);
   }
   return *procs_.back();
+}
+
+void SimGroupHarness::crash_process(
+    std::size_t i, const storage::MemStorage::CrashOptions& opts) {
+  procs_.at(i)->crash_with_disk(opts);
+}
+
+check::OracleOptions::RestartPair SimGroupHarness::restart_process(
+    std::size_t i, Status* status) {
+  // Preserve the crashed life's events under its old label before its
+  // ring goes away, then collect the new life under a fresh one — the
+  // oracle holds post against pre via restart_pairs.
+  if (tracing_) collector_.detach(labels_.at(i));
+  check::OracleOptions::RestartPair pair;
+  pair.pre = labels_.at(i);
+  labels_.at(i) = "m" + std::to_string(i) + "r" +
+                  std::to_string(++restart_counts_.at(i));
+  pair.post = labels_.at(i);
+  const Status s = procs_.at(i)->restart_from_disk();
+  if (status != nullptr) *status = s;
+  if (tracing_) {
+    collector_.attach(labels_.at(i), &procs_.at(i)->trace_ring());
+  } else {
+    procs_.at(i)->member().set_trace_ring(nullptr);
+  }
+  return pair;
 }
 
 bool SimGroupHarness::form_group() {
@@ -125,7 +198,7 @@ void SimGroupHarness::set_tracing(bool on) {
   if (on) {
     for (std::size_t i = 0; i < procs_.size(); ++i) {
       procs_[i]->member().set_trace_ring(&procs_[i]->trace_ring());
-      collector_.attach("m" + std::to_string(i), &procs_[i]->trace_ring());
+      collector_.attach(labels_[i], &procs_[i]->trace_ring());
     }
   } else {
     for (auto& p : procs_) p->member().set_trace_ring(nullptr);

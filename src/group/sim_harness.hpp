@@ -15,8 +15,10 @@
 #include "check/oracle.hpp"
 #include "flip/stack.hpp"
 #include "group/config.hpp"
+#include "group/durable_log.hpp"
 #include "group/member.hpp"
 #include "sim/world.hpp"
+#include "storage/mem_storage.hpp"
 #include "transport/fault.hpp"
 #include "transport/sim_runtime.hpp"
 
@@ -36,8 +38,30 @@ class SimProcess {
   /// Inactive (single-branch passthrough) until given a plan or schedule.
   transport::FaultDevice& faults() { return faults_; }
   /// This process's structured event ring (attached to the member by the
-  /// harness; drained through the harness collector).
-  check::TraceRing& trace_ring() { return trace_ring_; }
+  /// harness; drained through the harness collector). A restart swaps in a
+  /// fresh ring — the old one's events live on in the collector.
+  check::TraceRing& trace_ring() { return *trace_ring_; }
+
+  /// Give this process a durable log over its own (crash-surviving)
+  /// in-memory storage and attach it to the member. Must be paired with a
+  /// GroupConfig whose `durability` is not `off` for the member to use it.
+  void enable_durability();
+  storage::MemStorage* storage() { return storage_.get(); }
+  DurableLog* durable_log() { return log_.get(); }
+
+  /// Crash-with-disk: the node fail-stops and the storage loses whatever
+  /// was never fsynced (plus an optional torn tail of the last-synced
+  /// segment). The member object dies with the node; the storage survives.
+  void crash_with_disk(const storage::MemStorage::CrashOptions& opts);
+  void crash_with_disk() { crash_with_disk({}); }
+
+  /// Power the node back on, re-open the durable log over the surviving
+  /// storage, and rebuild the member from it (GroupMember::recover_from_log
+  /// — identity, view epoch and delivered-seq come from disk). On ok the
+  /// member is State::failed under its old identity; the caller then either
+  /// lets ResetGroup pick it up or calls member().rejoin_group(). Clears
+  /// delivered()/views() — they belong to the previous life.
+  Status restart_from_disk();
 
   /// User-level SendToGroup: charges the syscall cost (U1), then runs the
   /// protocol send; `done` fires when the send completes.
@@ -60,12 +84,18 @@ class SimProcess {
   }
 
  private:
+  void make_member();
+
   sim::Node& node_;
-  check::TraceRing trace_ring_;
+  flip::Address addr_;
+  GroupConfig cfg_;
+  std::unique_ptr<check::TraceRing> trace_ring_;
   transport::SimExecutor exec_;
   transport::SimDevice dev_;
   transport::FaultDevice faults_;
   flip::FlipStack flip_;
+  std::unique_ptr<storage::MemStorage> storage_;
+  std::unique_ptr<DurableLog> log_;
   std::unique_ptr<GroupMember> member_;
 
   std::vector<GroupMessage> delivered_;
@@ -96,6 +126,22 @@ class SimGroupHarness {
   /// Add another process (e.g. a late joiner) on a fresh node.
   SimProcess& add_process();
 
+  /// Current collector label of process i ("m0" for its first life,
+  /// "m0r1", "m0r2", ... after restarts).
+  const std::string& label(std::size_t i) const { return labels_.at(i); }
+
+  /// Crash process i with its disk (see SimProcess::crash_with_disk).
+  void crash_process(std::size_t i,
+                     const storage::MemStorage::CrashOptions& opts = {});
+
+  /// Restart process i from its surviving disk. Handles the trace-ring
+  /// bookkeeping: the crashed life's ring is final-drained and detached,
+  /// the new life collects under the next restart label. Returns the
+  /// (pre, post) label pair for OracleOptions::restart_pairs; `status`
+  /// (when non-null) receives GroupMember::recover_from_log's result.
+  check::OracleOptions::RestartPair restart_process(std::size_t i,
+                                                    Status* status = nullptr);
+
   /// Run until `pred()` or until `deadline` of simulated time passes.
   /// Returns whether the predicate became true.
   bool run_until(const std::function<bool()>& pred, Duration deadline);
@@ -117,6 +163,8 @@ class SimGroupHarness {
   sim::World world_;
   flip::Address gaddr_;
   std::vector<std::unique_ptr<SimProcess>> procs_;
+  std::vector<std::string> labels_;
+  std::vector<int> restart_counts_;
   check::TraceCollector collector_;
   bool tracing_{true};
   std::uint64_t next_addr_{1};

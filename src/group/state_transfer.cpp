@@ -1,38 +1,96 @@
 #include "group/state_transfer.hpp"
 
 #include "common/logging.hpp"
+#include "group/durable_log.hpp"
 
 namespace amoeba::group {
 
 namespace {
 // Fetch requests/replies are tagged so they coexist with application RPC
 // traffic on the same endpoint.
+//
+// Request: u32 magic [u8 has_from, u32 from]. The bare 4-byte form (the
+// v1 wire format) means "I hold nothing; cut me a snapshot".
+//
+// Reply: u32 magic, u8 mode:
+//   0  not serving (mid-fetch itself, or no snapshot callback)
+//   1  snapshot: u32 as_of, bytes(snapshot)
+//   2  log suffix: u32 from, u32 count,
+//      count x { u32 seq, u32 sender, u8 kind, u32 msg_id, bytes(payload) },
+//      u8 more (1: the provider holds further records past this batch)
 constexpr std::uint32_t kFetchMagic = 0x53545831;  // "STX1"
+constexpr std::uint8_t kModeNotServing = 0;
+constexpr std::uint8_t kModeSnapshot = 1;
+constexpr std::uint8_t kModeSuffix = 2;
+/// Records per suffix reply: keeps one reply's payload bounded (the RPC
+/// layer fragments, but a multi-megabyte reply would stall the provider).
+constexpr std::uint32_t kSuffixBatch = 64;
+/// Fetch-loop bound: a provider that never catches up to the live stream
+/// (or a pathological ping-pong) surfaces as a typed timeout instead of an
+/// unbounded RPC storm.
+constexpr int kMaxFetchRounds = 256;
 }  // namespace
 
 StateTransfer::StateTransfer(rpc::RpcEndpoint& rpc, Callbacks cbs)
     : rpc_(rpc), cbs_(std::move(cbs)) {
   rpc_.set_request_handler([this](const rpc::RpcEndpoint::Request& req) {
-    BufReader r(req.data);
-    if (r.remaining() >= 4) {
-      BufReader peek(req.data);
-      if (peek.u32() == kFetchMagic) {
-        // State fetch: reply (as_of, snapshot) cut atomically right now.
-        // The cut is the APPLICATION's position (next_apply_seq_), which
-        // may trail the member's kernel horizon by queued user work; a
-        // provider that is itself mid-fetch cannot serve.
-        BufWriter w;
-        w.u32(kFetchMagic);
-        if (serving_ == nullptr || !cbs_.snapshot || fetching_) {
-          w.u8(0);  // not serving
-        } else {
-          w.u8(1);
-          w.u32(next_apply_seq_.value_or(serving_->info().next_seq));
-          w.bytes(cbs_.snapshot());
-        }
+    BufReader peek(req.data);
+    if (peek.remaining() >= 4 && peek.u32() == kFetchMagic) {
+      bool has_from = false;
+      SeqNum from = 0;
+      if (peek.remaining() > 0) {
+        has_from = peek.u8() != 0;
+        if (has_from) from = peek.u32();
+      }
+      BufWriter w;
+      w.u32(kFetchMagic);
+      if (!peek.ok() || serving_ == nullptr || fetching_) {
+        // Malformed request, no member to serve from, or we are a joiner
+        // ourselves: the requester fails over to another provider.
+        w.u8(kModeNotServing);
         rpc_.reply(req, std::move(w).take());
         return;
       }
+      // The cut is the APPLICATION's position (next_apply_seq_), which may
+      // trail the member's kernel horizon by queued user work.
+      const SeqNum pos = next_apply_seq_.value_or(serving_->info().next_seq);
+      // Suffix path: the joiner's position is still inside our log, so it
+      // only needs the records it missed — no snapshot, no full replay.
+      if (has_from && log_ != nullptr && !log_->empty() &&
+          seq_ge(from, log_->lo()) && seq_le(from, pos)) {
+        const SeqNum end = seq_min(pos, log_->hi());
+        w.u8(kModeSuffix);
+        w.u32(from);
+        const std::size_t count_at = 9;  // magic + mode + from written
+        w.u32(0);                        // count, patched below
+        std::uint32_t count = 0;
+        SeqNum s = from;
+        for (; seq_lt(s, end) && count < kSuffixBatch; ++s) {
+          auto rec = log_->read_message(s);
+          if (!rec.has_value()) break;  // unreadable: stop, `more` re-asks
+          w.u32(rec->seq);
+          w.u32(rec->sender);
+          w.u8(static_cast<std::uint8_t>(rec->kind));
+          w.u32(rec->msg_id);
+          w.bytes(std::span<const std::uint8_t>(rec->data.data(),
+                                                rec->data.size()));
+          ++count;
+        }
+        w.patch_u32(count_at, count);
+        w.u8(seq_lt(s, pos) ? 1 : 0);  // more
+        rpc_.reply(req, std::move(w).take());
+        return;
+      }
+      if (!cbs_.snapshot) {
+        w.u8(kModeNotServing);
+        rpc_.reply(req, std::move(w).take());
+        return;
+      }
+      w.u8(kModeSnapshot);
+      w.u32(pos);
+      w.bytes(cbs_.snapshot());
+      rpc_.reply(req, std::move(w).take());
+      return;
     }
     if (app_handler_) app_handler_(req);
   });
@@ -40,36 +98,107 @@ StateTransfer::StateTransfer(rpc::RpcEndpoint& rpc, Callbacks cbs)
 
 void StateTransfer::serve(GroupMember& member) { serving_ = &member; }
 
+Status StateTransfer::enable_checkpoints(std::uint32_t every_n) {
+  if (every_n == 0 || log_ == nullptr) return Status::bad_config;
+  ckpt_every_ = every_n;
+  ckpt_counter_ = 0;
+  return Status::ok;
+}
+
+void StateTransfer::apply_one(const GroupMessage& m) {
+  if (apply_ && should_apply(m.seq)) apply_(m);
+  next_apply_seq_ = m.seq + 1;
+  maybe_checkpoint();
+}
+
 void StateTransfer::on_delivery(const GroupMessage& m) {
   if (fetching_) {
     pending_.push_back(m);
     return;
   }
-  if (apply_ && should_apply(m.seq)) apply_(m);
-  next_apply_seq_ = m.seq + 1;
+  apply_one(m);
+}
+
+void StateTransfer::maybe_checkpoint() {
+  if (ckpt_every_ == 0 || log_ == nullptr || !cbs_.snapshot ||
+      !next_apply_seq_.has_value()) {
+    return;
+  }
+  if (++ckpt_counter_ < ckpt_every_) return;
+  ckpt_counter_ = 0;
+  const Buffer snap = cbs_.snapshot();
+  if (log_->write_checkpoint(*next_apply_seq_, snap) != Status::ok) {
+    return;  // disk fault: skip this round, the next one retries
+  }
+  ++checkpoints_written_;
+  // Report the covered horizon so the group's compaction can advance.
+  if (serving_ != nullptr) serving_->note_checkpoint(*next_apply_seq_);
+}
+
+Result<SeqNum> StateTransfer::restore_from_log() {
+  if (log_ == nullptr) return Status::bad_config;
+  std::optional<SeqNum> pos;
+  if (auto ck = log_->read_checkpoint(); ck.has_value()) {
+    if (cbs_.install) cbs_.install(ck->snapshot);
+    // Counted separately from snapshots_installed_: restoring the OWN
+    // on-disk checkpoint is the cheap local path, not a network transfer,
+    // and the fetch-cost counters must not claim a full snapshot moved.
+    ++checkpoints_restored_;
+    pos = ck->as_of;
+  }
+  if (!log_->empty()) {
+    SeqNum s = pos.has_value() ? seq_max(*pos, log_->lo()) : log_->lo();
+    for (; seq_lt(s, log_->hi()); ++s) {
+      auto rec = log_->read_message(s);
+      if (!rec.has_value()) break;
+      if (apply_) {
+        GroupMessage gm;
+        gm.seq = rec->seq;
+        gm.sender = rec->sender;
+        gm.kind = rec->kind;
+        gm.sender_msg_id = rec->msg_id;
+        gm.data = rec->data;
+        apply_(gm);
+      }
+      pos = s + 1;
+    }
+  }
+  if (!pos.has_value()) return Status::no_such_group;  // disk holds nothing
+  as_of_ = *pos;
+  next_apply_seq_ = *pos;
+  return *pos;
 }
 
 void StateTransfer::finish_fetch() {
   fetching_ = false;
   auto pending = std::move(pending_);
   pending_.clear();
-  for (const GroupMessage& m : pending) {
-    if (apply_ && should_apply(m.seq)) apply_(m);
-    next_apply_seq_ = m.seq + 1;
-  }
+  for (const GroupMessage& m : pending) apply_one(m);
 }
 
 void StateTransfer::fetch(GroupMember& member, FetchCb done) {
   fetching_ = true;
-  try_fetch_from(member, 0,
-                 [this, done = std::move(done)](Result<SeqNum> r) {
-                   finish_fetch();
-                   done(std::move(r));
-                 });
+  fetch_rounds_ = 0;
+  fetch_pos_.reset();  // nothing held: the first reply must be a snapshot
+  fetch_round(member, 0, [this, done = std::move(done)](Result<SeqNum> r) {
+    finish_fetch();
+    done(std::move(r));
+  });
 }
 
-void StateTransfer::try_fetch_from(GroupMember& member, std::size_t candidate,
-                                   FetchCb done) {
+void StateTransfer::fetch_from(GroupMember& member, SeqNum from,
+                               FetchCb done) {
+  fetching_ = true;
+  fetch_rounds_ = 0;
+  fetch_pos_ = from;
+  fetch_round(member, 0, [this, done = std::move(done)](Result<SeqNum> r) {
+    finish_fetch();
+    done(std::move(r));
+  });
+}
+
+void StateTransfer::fetch_round(GroupMember& member, std::size_t candidate,
+                                FetchCb done) {
   const GroupInfo info = member.info();
   // Candidate providers: every member except ourselves, in id order,
   // reached at the companion RPC address of their member endpoint.
@@ -78,42 +207,103 @@ void StateTransfer::try_fetch_from(GroupMember& member, std::size_t candidate,
     if (m.id != info.my_id) providers.push_back(rpc_companion(m.address));
   }
   if (providers.empty()) {
-    // Sole member: nothing to transfer, apply everything.
-    as_of_.reset();
-    done(info.next_seq);
+    // Sole member: nothing to transfer; whatever we restored locally
+    // stands, and everything from the stream applies.
+    if (!fetch_pos_.has_value()) as_of_.reset();
+    done(fetch_pos_.value_or(info.next_seq));
     return;
   }
   if (candidate >= providers.size()) {
     done(Status::timeout);
     return;
   }
+  if (++fetch_rounds_ > kMaxFetchRounds) {
+    done(Status::timeout);
+    return;
+  }
 
   BufWriter w;
   w.u32(kFetchMagic);
-  rpc_.call(providers[candidate], std::move(w).take(),
-            [this, &member, candidate, done = std::move(done)](
-                Result<Buffer> r) mutable {
-              if (!r.ok()) {
-                try_fetch_from(member, candidate + 1, std::move(done));
-                return;
-              }
-              BufReader reader(r.value());
-              const std::uint32_t magic = reader.u32();
-              const std::uint8_t served = reader.u8();
-              if (magic != kFetchMagic || served == 0) {
-                try_fetch_from(member, candidate + 1, std::move(done));
-                return;
-              }
-              const SeqNum as_of = reader.u32();
-              const Buffer snapshot = reader.bytes();
-              if (!reader.ok()) {
-                done(Status::bad_message);
-                return;
-              }
-              if (cbs_.install) cbs_.install(snapshot);
-              as_of_ = as_of;
-              done(as_of);
-            });
+  w.u8(fetch_pos_.has_value() ? 1 : 0);
+  if (fetch_pos_.has_value()) w.u32(*fetch_pos_);
+  rpc_.call(
+      providers[candidate], std::move(w).take(),
+      [this, &member, candidate, done = std::move(done)](
+          Result<Buffer> r) mutable {
+        if (!r.ok()) {
+          fetch_round(member, candidate + 1, std::move(done));
+          return;
+        }
+        BufReader reader(r.value());
+        const std::uint32_t magic = reader.u32();
+        const std::uint8_t mode = reader.u8();
+        if (!reader.ok() || magic != kFetchMagic) {
+          done(Status::bad_message);
+          return;
+        }
+        if (mode == kModeNotServing) {
+          fetch_round(member, candidate + 1, std::move(done));
+          return;
+        }
+        if (mode == kModeSnapshot) {
+          const SeqNum as_of = reader.u32();
+          const Buffer snapshot = reader.bytes();
+          if (!reader.ok()) {
+            done(Status::bad_message);
+            return;
+          }
+          if (cbs_.install) cbs_.install(snapshot);
+          ++snapshots_installed_;
+          fetch_pos_ = as_of;
+          next_apply_seq_ = as_of;
+        } else if (mode == kModeSuffix) {
+          const SeqNum from = reader.u32();
+          const std::uint32_t count = reader.u32();
+          // A suffix is only legal as the answer to a positioned request
+          // (has_from); an unsolicited one is a protocol violation.
+          if (!reader.ok() || !fetch_pos_.has_value() ||
+              from != *fetch_pos_) {
+            done(Status::bad_message);
+            return;
+          }
+          SeqNum expect = from;
+          for (std::uint32_t i = 0; i < count; ++i) {
+            GroupMessage gm;
+            gm.seq = reader.u32();
+            gm.sender = reader.u32();
+            gm.kind = static_cast<MessageKind>(reader.u8());
+            gm.sender_msg_id = reader.u32();
+            Buffer payload = reader.bytes();
+            if (!reader.ok() || gm.seq != expect) {
+              done(Status::bad_message);
+              return;
+            }
+            gm.data = BufView(std::move(payload));
+            if (apply_) apply_(gm);
+            ++suffix_records_fetched_;
+            ++expect;
+            fetch_pos_ = expect;
+            next_apply_seq_ = expect;
+            maybe_checkpoint();
+          }
+        } else {
+          done(Status::bad_message);
+          return;
+        }
+        // Caught up? The fetch ends when our position meets the live
+        // stream: the head of the deliveries buffered during the fetch,
+        // or the member's kernel horizon when none arrived yet.
+        const SeqNum target = pending_.empty() ? member.info().next_seq
+                                               : pending_.front().seq;
+        if (fetch_pos_.has_value() && seq_ge(*fetch_pos_, target)) {
+          as_of_ = *fetch_pos_;
+          done(*fetch_pos_);
+          return;
+        }
+        // Not yet: ask the same provider for the next stretch (it just
+        // answered, so it is alive; suffix rounds continue from pos).
+        fetch_round(member, candidate, std::move(done));
+      });
 }
 
 }  // namespace amoeba::group

@@ -14,6 +14,24 @@
 // below was already part of the snapshot. No messages are missed and none
 // are applied twice.
 //
+// EXTENSION (ROADMAP item 4): with a durable log attached on both sides,
+// the transfer gets cheaper and survives crashes:
+//   - a provider serves the *log suffix* [from, ..) instead of a full
+//     snapshot whenever the joiner's position is still inside its log —
+//     a restarted member that already holds most of the stream on disk
+//     only fetches the tail it missed;
+//   - the joiner loops suffix rounds until its position meets the live
+//     stream (the head of its buffered deliveries), which also closes the
+//     v1 race where a lagging provider's snapshot cut could fall short of
+//     the joiner's first buffered delivery;
+//   - `enable_checkpoints(n)` persists a snapshot every n applied
+//     deliveries and reports the horizon to the sequencer (see
+//     GroupMember::note_checkpoint), which is what lets every member's
+//     log compact;
+//   - `restore_from_log()` rebuilds the application state locally from
+//     the on-disk checkpoint plus the own-log suffix — a crash-restarted
+//     member reaches its pre-crash position without any network fetch.
+//
 // Transport: one RPC to any existing member (the paper's modules compose:
 // the group provides the ordered stream and the membership, RPC provides
 // the point-to-point fetch).
@@ -39,6 +57,8 @@
 #include "rpc/rpc.hpp"
 
 namespace amoeba::group {
+
+class DurableLog;
 
 /// The RPC endpoint that accompanies a group member: a deterministic
 /// companion of the member's FLIP address, so peers can reach any
@@ -72,12 +92,36 @@ class StateTransfer {
   /// member reference supplies the current delivery horizon.
   void serve(GroupMember& member);
 
+  /// Attach a durable log (owned elsewhere). Provider side: lets fetch
+  /// replies serve log suffixes instead of full snapshots. Joiner side:
+  /// enables restore_from_log() and checkpointing.
+  void attach_log(DurableLog* log) { log_ = log; }
+
+  /// Checkpointer registration: every `every_n` applied deliveries, write
+  /// the application snapshot to the log (tmp + sync + rename, atomic)
+  /// and report the horizon to the group for compaction. Typed
+  /// Status::bad_config when `every_n` is zero or no log is attached.
+  Status enable_checkpoints(std::uint32_t every_n);
+
   /// Joiner side: fetch state from the lowest-id other member of the
   /// group `member` just joined. On success `install` has run and
   /// `should_apply` gates the stream. Retries through alternate members
-  /// if the first provider does not answer.
+  /// if the first provider does not answer. Loops until the fetched
+  /// position meets the live stream.
   using FetchCb = std::function<void(Result<SeqNum>)>;
   void fetch(GroupMember& member, FetchCb done);
+
+  /// Like fetch(), but the joiner already holds state up to (exclusive)
+  /// `from` — typically the position restore_from_log() returned. A
+  /// provider whose log still covers `from` answers with just the suffix;
+  /// a provider that compacted past it falls back to a full snapshot.
+  void fetch_from(GroupMember& member, SeqNum from, FetchCb done);
+
+  /// Rebuild the application state from the attached log alone: install
+  /// the on-disk checkpoint (if any), then replay the log suffix through
+  /// the apply pipeline. Returns the resulting position (the first seq
+  /// NOT yet applied); Status::no_such_group when the disk holds nothing.
+  Result<SeqNum> restore_from_log();
 
   /// True when the ordered delivery at `seq` must be applied (i.e. it is
   /// not already folded into an installed snapshot).
@@ -96,15 +140,29 @@ class StateTransfer {
   }
   void on_delivery(const GroupMessage& m);
 
+  // Observability: what a (re)join actually cost. A restart that avoided
+  // the full-history replay shows suffix records instead of a snapshot;
+  // `snapshots_installed` counts only snapshots that crossed the network,
+  // while a local restore_from_log() checkpoint shows in
+  // `checkpoints_restored`.
+  std::uint64_t suffix_records_fetched() const {
+    return suffix_records_fetched_;
+  }
+  std::uint64_t snapshots_installed() const { return snapshots_installed_; }
+  std::uint64_t checkpoints_written() const { return checkpoints_written_; }
+  std::uint64_t checkpoints_restored() const { return checkpoints_restored_; }
+
  private:
-  void try_fetch_from(GroupMember& member, std::size_t candidate,
-                      FetchCb done);
+  void fetch_round(GroupMember& member, std::size_t candidate, FetchCb done);
   void finish_fetch();
+  void apply_one(const GroupMessage& m);
+  void maybe_checkpoint();
 
   rpc::RpcEndpoint& rpc_;
   Callbacks cbs_;
   rpc::RpcEndpoint::RequestHandler app_handler_;
   GroupMember* serving_{nullptr};
+  DurableLog* log_{nullptr};
   std::optional<SeqNum> as_of_;
   std::function<void(const GroupMessage&)> apply_;
   bool fetching_{false};
@@ -114,6 +172,15 @@ class StateTransfer {
   /// member's kernel-level horizon by queued user-level work. Snapshots
   /// must cut here, not at the kernel horizon.
   std::optional<SeqNum> next_apply_seq_;
+  /// Position the in-flight fetch has reached (first seq not yet held).
+  std::optional<SeqNum> fetch_pos_;
+  int fetch_rounds_{0};
+  std::uint32_t ckpt_every_{0};
+  std::uint32_t ckpt_counter_{0};
+  std::uint64_t suffix_records_fetched_{0};
+  std::uint64_t snapshots_installed_{0};
+  std::uint64_t checkpoints_written_{0};
+  std::uint64_t checkpoints_restored_{0};
 };
 
 }  // namespace amoeba::group

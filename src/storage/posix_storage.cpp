@@ -1,0 +1,154 @@
+#include "storage/posix_storage.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace amoeba::storage {
+
+namespace {
+
+class PosixFile final : public StorageFile {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {
+    struct stat st{};
+    if (::fstat(fd_, &st) == 0) size_ = static_cast<std::uint64_t>(st.st_size);
+  }
+
+  ~PosixFile() override {
+    drop_map();
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  Status write_at(std::uint64_t off,
+                  std::span<const std::uint8_t> data) override {
+    std::size_t done = 0;
+    while (done < data.size()) {
+      const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                                 static_cast<off_t>(off + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::io_error;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    if (off + data.size() > size_) size_ = off + data.size();
+    return Status::ok;
+  }
+
+  Status read_at(std::uint64_t off, std::span<std::uint8_t> out) override {
+    if (out.empty()) return Status::ok;
+    if (off + out.size() > size_) return Status::io_error;
+    // Serve from the mmap'd view; (re)map when the read lands past it.
+    if (map_ == nullptr || off + out.size() > map_len_) {
+      if (!remap()) return read_fallback(off, out);
+    }
+    std::memcpy(out.data(), static_cast<const std::uint8_t*>(map_) + off,
+                out.size());
+    return Status::ok;
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+  Status sync() override {
+    return ::fsync(fd_) == 0 ? Status::ok : Status::io_error;
+  }
+
+  Status truncate(std::uint64_t new_size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+      return Status::io_error;
+    }
+    size_ = new_size;
+    drop_map();
+    return Status::ok;
+  }
+
+ private:
+  bool remap() {
+    drop_map();
+    if (size_ == 0) return false;
+    void* m = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd_, 0);
+    if (m == MAP_FAILED) return false;
+    map_ = m;
+    map_len_ = size_;
+    return true;
+  }
+
+  void drop_map() {
+    if (map_ != nullptr) {
+      ::munmap(map_, map_len_);
+      map_ = nullptr;
+      map_len_ = 0;
+    }
+  }
+
+  Status read_fallback(std::uint64_t off, std::span<std::uint8_t> out) {
+    std::size_t done = 0;
+    while (done < out.size()) {
+      const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                                static_cast<off_t>(off + done));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return Status::io_error;
+      done += static_cast<std::size_t>(n);
+    }
+    return Status::ok;
+  }
+
+  int fd_{-1};
+  std::uint64_t size_{0};
+  void* map_{nullptr};
+  std::uint64_t map_len_{0};
+};
+
+}  // namespace
+
+PosixStorage::PosixStorage(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);
+}
+
+Result<std::unique_ptr<StorageFile>> PosixStorage::open(
+    const std::string& name) {
+  const int fd = ::open(path(name).c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::io_error;
+  return std::unique_ptr<StorageFile>(new PosixFile(fd));
+}
+
+std::vector<std::string> PosixStorage::list() {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return out;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string n = e->d_name;
+    if (n == "." || n == "..") continue;
+    out.push_back(n);
+  }
+  ::closedir(d);
+  return out;
+}
+
+bool PosixStorage::exists(const std::string& name) {
+  struct stat st{};
+  return ::stat(path(name).c_str(), &st) == 0;
+}
+
+Status PosixStorage::remove(const std::string& name) {
+  if (::unlink(path(name).c_str()) != 0 && errno != ENOENT) {
+    return Status::io_error;
+  }
+  return Status::ok;
+}
+
+Status PosixStorage::rename(const std::string& from, const std::string& to) {
+  return ::rename(path(from).c_str(), path(to).c_str()) == 0 ? Status::ok
+                                                             : Status::io_error;
+}
+
+}  // namespace amoeba::storage

@@ -1,0 +1,35 @@
+// Real-disk Storage over one directory: pwrite for appends, fsync for the
+// durability barrier, and an mmap'd read view so recovery scans and
+// suffix-transfer reads come straight out of the page cache without a
+// syscall per record. The mapping is grown lazily (remapped when a read
+// lands past the mapped extent) and writes go through the fd, which is
+// coherent with MAP_SHARED mappings of the same file on POSIX.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/storage.hpp"
+
+namespace amoeba::storage {
+
+class PosixStorage final : public Storage {
+ public:
+  /// `dir` is created (one level) if missing.
+  explicit PosixStorage(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // --- Storage --------------------------------------------------------------
+  Result<std::unique_ptr<StorageFile>> open(const std::string& name) override;
+  std::vector<std::string> list() override;
+  bool exists(const std::string& name) override;
+  Status remove(const std::string& name) override;
+  Status rename(const std::string& from, const std::string& to) override;
+
+ private:
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+  std::string dir_;
+};
+
+}  // namespace amoeba::storage

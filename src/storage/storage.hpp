@@ -1,0 +1,78 @@
+// The stable-storage seam behind the durable log.
+//
+// `Storage` is a flat namespace of named files inside one "directory" (one
+// storage instance per group member); `StorageFile` is a positional
+// read/write handle with an explicit `sync()` durability barrier. The
+// interface is deliberately tiny — exactly what a segmented log with
+// atomic checkpoint replacement needs — so the same `DurableLog` code runs
+// over three implementations:
+//
+//   - `MemStorage`   (mem_storage.hpp): in-memory files with a synced-bytes
+//     watermark and a `crash_unsynced()` switch, so the simulator can model
+//     crash-with-disk restarts deterministically.
+//   - `PosixStorage` (posix_storage.hpp): real files, pwrite + fsync for
+//     the write path and an mmap'd read view for recovery scans.
+//   - `FaultStorage` (fault_storage.hpp): a seeded interposer over either,
+//     injecting short writes, fsync failures, torn tails, and lost renames
+//     at this seam — the storage twin of `transport::FaultDevice`.
+//
+// Durability contract: bytes written through `write_at` may be lost on a
+// crash until a subsequent `sync()` on the same file returns ok. `rename`
+// atomically replaces the destination (checkpoint publication relies on
+// this); whether an un-synced rename survives a crash is implementation-
+// defined, and the fault interposer exercises the "it did not" case.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace amoeba::storage {
+
+class StorageFile {
+ public:
+  virtual ~StorageFile() = default;
+
+  /// Write `data` at absolute offset `off`, extending the file if needed.
+  /// Either writes everything or returns io_error (a short write may still
+  /// have landed a prefix on disk — callers re-write the whole record).
+  virtual Status write_at(std::uint64_t off,
+                          std::span<const std::uint8_t> data) = 0;
+
+  /// Read exactly `out.size()` bytes at `off`; io_error if short.
+  virtual Status read_at(std::uint64_t off, std::span<std::uint8_t> out) = 0;
+
+  /// Current file size in bytes.
+  virtual std::uint64_t size() const = 0;
+
+  /// Durability barrier: on ok, every byte written so far survives a crash.
+  virtual Status sync() = 0;
+
+  /// Truncate to `new_size` (used to cut a torn tail during recovery).
+  virtual Status truncate(std::uint64_t new_size) = 0;
+};
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// Open `name`, creating it empty if it does not exist.
+  virtual Result<std::unique_ptr<StorageFile>> open(const std::string& name) = 0;
+
+  /// Names of all existing files, in unspecified order.
+  virtual std::vector<std::string> list() = 0;
+
+  virtual bool exists(const std::string& name) = 0;
+
+  /// Delete `name` (ok if it does not exist).
+  virtual Status remove(const std::string& name) = 0;
+
+  /// Atomically replace `to` with `from` (`from` ceases to exist).
+  virtual Status rename(const std::string& from, const std::string& to) = 0;
+};
+
+}  // namespace amoeba::storage

@@ -46,7 +46,7 @@ TEST(GroupWire, HeaderAccountsForPapersByteBudget) {
 
 TEST(GroupWire, EveryTypeRoundTrips) {
   for (std::uint8_t t = 1;
-       t <= static_cast<std::uint8_t>(WireType::reset_result); ++t) {
+       t <= static_cast<std::uint8_t>(WireType::compaction_notice); ++t) {
     WireMsg m;
     m.type = static_cast<WireType>(t);
     m.sender = t;
@@ -73,6 +73,15 @@ TEST(GroupWire, RejectsGarbage) {
   EXPECT_FALSE(decode_wire(std::move(bytes)).has_value());
   Buffer zero(60, 0);  // type 0 is invalid
   EXPECT_FALSE(decode_wire(std::move(zero)).has_value());
+  // One past the last defined type (compaction_notice) must be rejected too:
+  // this pins the decode bound to the end of the enum, so adding a wire type
+  // without raising the bound fails here instead of silently dropping frames.
+  WireMsg last;
+  last.type = WireType::compaction_notice;
+  const BufView le = encode_wire(last);
+  Buffer past(le.begin(), le.end());
+  past[0] = static_cast<std::uint8_t>(WireType::compaction_notice) + 1;
+  EXPECT_FALSE(decode_wire(std::move(past)).has_value());
 }
 
 TEST(GroupWire, SnapshotRoundTrip) {
@@ -115,6 +124,8 @@ TEST(GroupWire, VoteRoundTrip) {
   v.hist_lo = 80;
   v.hist_hi = 100;
   v.tentative = {100, 101, 103};
+  v.durable_lo = 40;
+  v.durable_hi = 100;
   const auto d = decode_vote(encode_vote(v));
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->member, 3u);
@@ -122,6 +133,23 @@ TEST(GroupWire, VoteRoundTrip) {
   EXPECT_EQ(d->hist_lo, 80u);
   EXPECT_EQ(d->hist_hi, 100u);
   EXPECT_EQ(d->tentative, (std::vector<SeqNum>{100, 101, 103}));
+  EXPECT_EQ(d->durable_lo, 40u);
+  EXPECT_EQ(d->durable_hi, 100u);
+}
+
+TEST(GroupWire, VoteWithoutLogHasEmptyDurableRange) {
+  // A member running without a durable log reports lo == hi; the decoded
+  // vote must preserve that emptiness rather than invent a range.
+  Vote v;
+  v.member = 1;
+  v.next_deliver = 7;
+  const auto d = decode_vote(encode_vote(v));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->durable_lo, d->durable_hi);
+  // Truncating the durable-range tail makes the vote malformed.
+  const Buffer enc = encode_vote(v);
+  EXPECT_FALSE(
+      decode_vote(std::span(enc.data(), enc.size() - 4)).has_value());
 }
 
 TEST(GroupWire, MembershipChangeRoundTrip) {

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -99,7 +100,23 @@ inline PropertyOutcome run_property_case(const PropertyParams& p) {
   cfg.status_interval = Duration::millis(100);
   cfg.invite_interval = Duration::millis(50);
 
+  // AMOEBA_DURABILITY=1 re-runs the whole sweep with every member on a
+  // durable log in group_commit mode: the protocol obligations must hold
+  // regardless of the logging mode, and the sanitizer CI jobs get the
+  // log's append/fsync path under the same nemesis schedules.
+  const char* dur_env = std::getenv("AMOEBA_DURABILITY");
+  const bool durable_mode = dur_env != nullptr && dur_env[0] == '1';
+  if (durable_mode) {
+    cfg.durability = Durability::group_commit;
+    cfg.fsync_interval = Duration::millis(10);
+  }
+
   SimGroupHarness h(kMembers, cfg, sim::CostModel::mc68030_ether10(), p.seed);
+  if (durable_mode) {
+    for (std::size_t i = 0; i < kMembers; ++i) {
+      h.process(i).enable_durability();
+    }
+  }
 
   PropertyOutcome out;
   out.scenario = sc;

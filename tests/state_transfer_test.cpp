@@ -66,12 +66,20 @@ struct Cluster {
   SimGroupHarness h;
   std::vector<std::unique_ptr<Replica>> replicas;
 
-  explicit Cluster(std::size_t n) : h(n, GroupConfig{}) {}
+  explicit Cluster(std::size_t n, GroupConfig cfg = {}) : h(n, cfg) {}
 
-  bool start() {
+  bool start(bool durable = false) {
+    if (durable) {
+      for (std::size_t p = 0; p < h.size(); ++p) {
+        h.process(p).enable_durability();
+      }
+    }
     if (!h.form_group()) return false;
     for (std::size_t p = 0; p < h.size(); ++p) {
       replicas.push_back(std::make_unique<Replica>(h.process(p)));
+      if (durable) {
+        replicas.back()->st->attach_log(h.process(p).durable_log());
+      }
     }
     return true;
   }
@@ -203,6 +211,241 @@ TEST(StateTransfer, FetchFailsOverToNextProvider) {
                             Duration::seconds(60)));
   EXPECT_TRUE(fetched->ok());
   EXPECT_EQ(fresh.counter.sum, 7);
+}
+
+TEST(StateTransfer, JoinerWithTrafficInFlightAcrossBatchModes) {
+  // The fetch must land exactly regardless of sequencer packing: 1 (every
+  // message its own frame) and 16 (the default packed path) change the
+  // timing of the deliveries racing the snapshot cut.
+  for (const std::size_t bc : {std::size_t{1}, std::size_t{16}}) {
+    GroupConfig cfg;
+    cfg.batch_count = bc;
+    Cluster c(3, cfg);
+    ASSERT_TRUE(c.start()) << "batch_count=" << bc;
+
+    int sent = 0;
+    auto pump = std::make_shared<std::function<void(int)>>();
+    *pump = [&, pump](int k) {
+      if (k >= 30) return;
+      c.h.process(1).user_send(add_op(1), [&, k, pump](Status s) {
+        if (s == Status::ok) ++sent;
+        (*pump)(k + 1);
+      });
+    };
+    (*pump)(0);
+
+    SimProcess& newcomer = c.h.add_process();
+    c.replicas.push_back(std::make_unique<Replica>(newcomer));
+    Replica& fresh = *c.replicas.back();
+    std::optional<Result<SeqNum>> fetched;
+    newcomer.member().join_group(c.h.group_addr(), [&](Status s) {
+      ASSERT_EQ(s, Status::ok);
+      fresh.st->fetch(newcomer.member(),
+                      [&](Result<SeqNum> r) { fetched = std::move(r); });
+    });
+    ASSERT_TRUE(c.h.run_until(
+        [&] { return fetched.has_value() && sent == 30; },
+        Duration::seconds(60)))
+        << "batch_count=" << bc;
+    ASSERT_TRUE(fetched->ok()) << to_string(fetched->status());
+    c.h.run_until([] { return false; }, Duration::millis(300));
+    EXPECT_EQ(fresh.counter.sum, 30) << "batch_count=" << bc;
+    EXPECT_EQ(fresh.counter.applied, 30) << "batch_count=" << bc;
+  }
+}
+
+TEST(StateTransfer, RestartedMemberFetchesSuffixNotSnapshot) {
+  // The point of the durable log: a crash-restarted member already holds
+  // its pre-crash prefix on disk, so rejoining costs checkpoint + log
+  // suffix, not a full snapshot or a full-history replay.
+  GroupConfig cfg;
+  cfg.durability = Durability::group_commit;
+  cfg.status_interval = Duration::millis(100);
+  // Small history + fast polls: the failure detector only probes (and
+  // expels) laggards under history pressure, which the post-crash traffic
+  // below supplies.
+  cfg.history_size = 16;
+  cfg.status_poll = Duration::millis(20);
+  cfg.status_retries = 3;
+  Cluster c(3, cfg);
+  ASSERT_TRUE(c.start(/*durable=*/true));
+
+  int sent = 0;
+  for (int k = 1; k <= 12; ++k) {
+    c.h.process(0).user_send(add_op(k), [&](Status s) {
+      if (s == Status::ok) ++sent;
+    });
+  }
+  ASSERT_TRUE(c.h.run_until([&] { return sent == 12; }, Duration::seconds(30)));
+  c.h.run_until([] { return false; }, Duration::millis(300));
+  ASSERT_EQ(c.replicas[2]->counter.sum, 78);
+
+  // Process 2 dies with its disk; its application memory is gone.
+  c.replicas[2].reset();
+  c.h.crash_process(2);
+  int more = 0;
+  for (int k = 0; k < 30; ++k) {
+    c.h.process(0).user_send(add_op(1), [&](Status s) {
+      if (s == Status::ok) ++more;
+    });
+  }
+  ASSERT_TRUE(c.h.run_until(
+      [&] {
+        return more == 30 && c.h.process(0).member().info().size() == 2;
+      },
+      Duration::seconds(60)));
+
+  Status recovered = Status::failure;
+  c.h.restart_process(2, &recovered);
+  ASSERT_EQ(recovered, Status::ok);
+
+  // The app rebuilds locally from disk, then fetches only the tail.
+  c.replicas[2] = std::make_unique<Replica>(c.h.process(2));
+  Replica& back = *c.replicas[2];
+  back.st->attach_log(c.h.process(2).durable_log());
+  const auto restored = back.st->restore_from_log();
+  ASSERT_TRUE(restored.ok()) << to_string(restored.status());
+  EXPECT_EQ(back.counter.sum, 78) << "local replay must reach the pre-crash sum";
+
+  bool rejoined = false;
+  std::optional<Result<SeqNum>> fetched;
+  back.st->serve(c.h.process(2).member());
+  c.h.process(2).member().rejoin_group([&](Status s) {
+    rejoined = s == Status::ok;
+    ASSERT_EQ(s, Status::ok);
+    back.st->fetch_from(c.h.process(2).member(), restored.value(),
+                        [&](Result<SeqNum> r) { fetched = std::move(r); });
+  });
+  ASSERT_TRUE(c.h.run_until(
+      [&] { return rejoined && fetched.has_value(); }, Duration::seconds(60)));
+  ASSERT_TRUE(fetched->ok()) << to_string(fetched->status());
+  c.h.run_until([] { return false; }, Duration::millis(300));
+
+  EXPECT_EQ(back.counter.sum, 108) << "78 pre-crash + 30 x 1 missed";
+  EXPECT_GT(back.st->suffix_records_fetched(), 0u)
+      << "the tail must arrive as log records";
+  EXPECT_EQ(back.st->snapshots_installed(), 0u)
+      << "a full snapshot means the restart replayed history it already had";
+
+  // New traffic reaches the restarted replica exactly once.
+  int after = 0;
+  c.h.process(1).user_send(add_op(1000), [&](Status s) {
+    if (s == Status::ok) ++after;
+  });
+  ASSERT_TRUE(c.h.run_until([&] { return after == 1; }, Duration::seconds(30)));
+  c.h.run_until([] { return false; }, Duration::millis(300));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.replicas[i]->counter.sum, 1108) << "replica " << i;
+  }
+}
+
+TEST(StateTransfer, JoinerMidCompactionFallsBackToSnapshot) {
+  // A provider that compacted past the joiner's position cannot serve the
+  // suffix any more — the fetch falls back to a (checkpointed) snapshot.
+  GroupConfig cfg;
+  cfg.durability = Durability::group_commit;
+  cfg.log_segment_bytes = 4096;  // clamp floor: rotate quickly
+  cfg.status_interval = Duration::millis(50);
+  Cluster c(3, cfg);
+  ASSERT_TRUE(c.start(/*durable=*/true));
+  for (auto& r : c.replicas) {
+    ASSERT_EQ(r->st->enable_checkpoints(4), Status::ok);
+  }
+
+  // Padded ops (apply reads only the leading i64): ~300-byte log records
+  // fill segments fast enough that compaction actually drops some.
+  const auto padded_op = [](std::int64_t delta) {
+    BufWriter w;
+    w.i64(delta);
+    for (int i = 0; i < 36; ++i) w.i64(0);
+    return std::move(w).take();
+  };
+  int sent = 0;
+  auto pump = std::make_shared<std::function<void(int)>>();
+  *pump = [&, pump, padded_op](int k) {
+    if (k >= 60) return;
+    c.h.process(0).user_send(padded_op(1), [&, k, pump](Status s) {
+      if (s == Status::ok) ++sent;
+      (*pump)(k + 1);
+    });
+  };
+  (*pump)(0);
+  ASSERT_TRUE(c.h.run_until([&] { return sent == 60; }, Duration::seconds(60)));
+  // Let checkpoint horizons piggyback, the compaction notice land, and
+  // every provider's log floor actually move past the joiner's position.
+  ASSERT_TRUE(c.h.run_until(
+      [&] {
+        for (std::size_t p = 0; p < 3; ++p) {
+          DurableLog* log = c.h.process(p).durable_log();
+          if (log->empty() || log->lo() == 0) return false;
+        }
+        return true;
+      },
+      Duration::seconds(30)))
+      << "compaction never advanced past seq 0 on every provider";
+
+  // A joiner claiming position 0: every provider compacted past it.
+  SimProcess& newcomer = c.h.add_process();
+  c.replicas.push_back(std::make_unique<Replica>(newcomer));
+  Replica& fresh = *c.replicas.back();
+  std::optional<Result<SeqNum>> fetched;
+  newcomer.member().join_group(c.h.group_addr(), [&](Status s) {
+    ASSERT_EQ(s, Status::ok);
+    fresh.st->fetch_from(newcomer.member(), 0,
+                         [&](Result<SeqNum> r) { fetched = std::move(r); });
+  });
+  ASSERT_TRUE(c.h.run_until([&] { return fetched.has_value(); },
+                            Duration::seconds(60)));
+  ASSERT_TRUE(fetched->ok()) << to_string(fetched->status());
+  c.h.run_until([] { return false; }, Duration::millis(300));
+  EXPECT_EQ(fresh.counter.sum, 60);
+  EXPECT_GE(fresh.st->snapshots_installed(), 1u)
+      << "a compacted provider must have answered with a snapshot";
+}
+
+TEST(StateTransfer, MalformedSuffixReplyIsTypedBadMessage) {
+  // A provider that answers the fetch protocol with garbage must surface
+  // as Status::bad_message, not a crash or a silent wrong state.
+  SimGroupHarness h(1, GroupConfig{});
+  ASSERT_TRUE(h.form_group());
+
+  // Member 0 runs a hostile endpoint instead of a real StateTransfer: it
+  // echoes a mode-2 (suffix) reply whose record stream is truncated junk.
+  rpc::RpcEndpoint evil(h.process(0).flip(), h.process(0).exec(),
+                        rpc_companion(h.process(0).member().address()));
+  evil.set_request_handler([&](const rpc::RpcEndpoint::Request& req) {
+    BufWriter w;
+    w.u32(0x53545831);  // the fetch magic
+    w.u8(2);            // mode: suffix
+    w.u32(0);           // from
+    w.u32(5);           // claims five records, carries none
+    evil.reply(req, std::move(w).take());
+  });
+
+  SimProcess& newcomer = h.add_process();
+  Replica fresh(newcomer);
+  std::optional<Result<SeqNum>> fetched;
+  newcomer.member().join_group(h.group_addr(), [&](Status s) {
+    ASSERT_EQ(s, Status::ok);
+    fresh.st->fetch(newcomer.member(),
+                    [&](Result<SeqNum> r) { fetched = std::move(r); });
+  });
+  ASSERT_TRUE(h.run_until([&] { return fetched.has_value(); },
+                          Duration::seconds(30)));
+  ASSERT_FALSE(fetched->ok());
+  EXPECT_EQ(fetched->status(), Status::bad_message);
+}
+
+TEST(StateTransfer, CheckpointKnobValidation) {
+  SimGroupHarness h(1, GroupConfig{});
+  ASSERT_TRUE(h.form_group());
+  Replica r(h.process(0));
+  // No log attached: checkpoints are impossible, typed bad_config.
+  EXPECT_EQ(r.st->enable_checkpoints(8), Status::bad_config);
+  h.process(0).enable_durability();
+  r.st->attach_log(h.process(0).durable_log());
+  EXPECT_EQ(r.st->enable_checkpoints(0), Status::bad_config);
+  EXPECT_EQ(r.st->enable_checkpoints(8), Status::ok);
 }
 
 TEST(StateTransfer, AppRpcTrafficStillFlows) {
