@@ -127,6 +127,8 @@ int main(int argc, char** argv) {
           std::printf("* sequencer moved to member %u\n",
                       grp.get_info().sequencer);
           break;
+        case MessageKind::xshard:
+          break;  // cross-shard envelopes never reach a single-group chat
       }
       std::fflush(stdout);
     }

@@ -22,6 +22,10 @@ const char* to_string(EventKind k) {
     case EventKind::log_sync: return "log_sync";
     case EventKind::log_recover: return "log_recover";
     case EventKind::restart: return "restart";
+    case EventKind::xsend: return "xsend";
+    case EventKind::xpropose: return "xpropose";
+    case EventKind::xcommit: return "xcommit";
+    case EventKind::xdeliver: return "xdeliver";
   }
   return "?";
 }
@@ -34,6 +38,7 @@ const char* kind_name(group::MessageKind k) {
     case group::MessageKind::leave: return "leave";
     case group::MessageKind::expel: return "expel";
     case group::MessageKind::handoff: return "handoff";
+    case group::MessageKind::xshard: return "xshard";
   }
   return "?";
 }
@@ -46,10 +51,10 @@ int as_int(group::MemberId id) {
 std::string describe(const TraceEvent& e) {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "%12.3fms m%-2d %-11s inc=%u seq=%u peer=%d msg=%u %s%s"
+                "%12.3fms g%u.m%-2d %-11s inc=%u seq=%u peer=%d msg=%u %s%s"
                 " a=0x%llx",
-                e.at.to_millis(), as_int(e.member), to_string(e.kind), e.inc,
-                e.seq, as_int(e.peer), e.msg_id, kind_name(e.mkind),
+                e.at.to_millis(), e.group, as_int(e.member), to_string(e.kind),
+                e.inc, e.seq, as_int(e.peer), e.msg_id, kind_name(e.mkind),
                 e.flags != 0 ? " f" : "",
                 static_cast<unsigned long long>(e.a));
   return buf;
@@ -138,11 +143,11 @@ std::string TraceCollector::dump_json() const {
       std::snprintf(
           buf, sizeof(buf),
           "%s\n{\"t_ns\":%lld,\"ring\":\"%s\",\"kind\":\"%s\",\"member\":%d,"
-          "\"inc\":%u,\"mkind\":\"%s\",\"flags\":%u,\"peer\":%d,\"seq\":%u,"
-          "\"msg_id\":%u,\"a\":%llu}",
+          "\"inc\":%u,\"group\":%u,\"mkind\":\"%s\",\"flags\":%u,\"peer\":%d,"
+          "\"seq\":%u,\"msg_id\":%u,\"a\":%llu}",
           first ? "" : ",", static_cast<long long>(e.at.ns), r.label.c_str(),
-          to_string(e.kind), as_int(e.member), e.inc, kind_name(e.mkind),
-          e.flags, as_int(e.peer), e.seq, e.msg_id,
+          to_string(e.kind), as_int(e.member), e.inc, e.group,
+          kind_name(e.mkind), e.flags, as_int(e.peer), e.seq, e.msg_id,
           static_cast<unsigned long long>(e.a));
       out += buf;
       first = false;

@@ -10,15 +10,17 @@
 namespace amoeba::check {
 namespace {
 
-std::uint64_t pack(std::uint32_t hi, std::uint32_t lo) {
-  return (static_cast<std::uint64_t>(hi) << 32) | lo;
-}
-
 std::string where(const RingTrace& r, const TraceEvent& e) {
   return r.label + ": " + describe(e);
 }
 
-/// What a (incarnation, seq) slot resolved to at some member.
+/// Cross-ring tables are keyed by the event's group tag as well, so one
+/// collector can hold rings of many shards: shard 0's (inc, seq) slot and
+/// shard 1's are different coordinates, not an agreement violation.
+using SlotKey = std::tuple<std::uint32_t, group::Incarnation, SeqNum>;
+using MsgKey = std::tuple<std::uint32_t, group::MemberId, std::uint32_t>;
+
+/// What a (group, incarnation, seq) slot resolved to at some member.
 struct DeliveryId {
   group::MemberId sender;
   std::uint32_t msg_id;
@@ -49,12 +51,13 @@ class Checker {
 
   Verdict run() {
     collect_stamps_and_views();
-    for (const RingTrace& r : rings_) {
+    for (std::size_t i = 0; i < rings_.size(); ++i) {
       if (full()) break;
-      scan(r);
+      scan(i);
     }
     check_durability();
     check_restart();
+    check_xshard();
     return std::move(verdict_);
   }
 
@@ -77,7 +80,7 @@ class Checker {
       for (const TraceEvent& e : r.events) {
         if (full()) return;
         if (e.kind == EventKind::stamp && opts_.check_stamps) {
-          const auto key = pack(e.inc, e.seq);
+          const SlotKey key{e.group, e.inc, e.seq};
           auto [it, inserted] = stamp_at_.try_emplace(
               key, StampRec{e.peer, e.msg_id, e.a, where(r, e)});
           if (!inserted) {
@@ -90,7 +93,7 @@ class Checker {
                                 "\n    " + where(r, e));
             }
           }
-          stamp_content_[{e.seq, e.peer, e.msg_id}].insert(e.a);
+          stamp_content_[{e.group, e.seq, e.peer, e.msg_id}].insert(e.a);
         } else if (e.kind == EventKind::view && opts_.check_view_sync) {
           // Normal views are identified by their stream position; recovery
           // views by (incarnation, new sequencer) — a recovery result is a
@@ -98,8 +101,7 @@ class Checker {
           // catches two coordinators publishing different memberships for
           // the same incarnation.
           auto& table = e.flags != 0 ? views_recovery_ : views_normal_;
-          const auto key =
-              e.flags != 0 ? pack(e.inc, e.peer) : pack(e.inc, e.seq);
+          const SlotKey key{e.group, e.inc, e.flags != 0 ? e.peer : e.seq};
           auto [it, inserted] =
               table.try_emplace(key, ViewRec{e.a, e.msg_id, where(r, e)});
           if (!inserted) {
@@ -118,8 +120,10 @@ class Checker {
     }
   }
 
-  // Pass 2: everything judged in one member's event order.
-  void scan(const RingTrace& r) {
+  /// Per-(ring, group) stream state. One physical ring normally carries one
+  /// group's events, but the oracle does not rely on it: a shared ring is
+  /// judged as the interleaving of per-group streams.
+  struct ScanState {
     // Accepts are keyed by seq alone: after a ResetGroup, entries that were
     // already final keep their old-incarnation accept, and a seq is never
     // re-delivered within one member (gap-free covers that), so the looser
@@ -127,23 +131,46 @@ class Checker {
     std::unordered_set<SeqNum> accepted;
     std::set<SeqNum> marks;  // view positions: legal delivery (re)starts
     bool have_prev = false;
-    SeqNum expected = opts_.first_seq;
+    SeqNum expected = 0;
     std::unordered_map<group::MemberId, std::uint32_t> last_app;
     std::unordered_set<std::uint32_t> self_delivered;
+  };
+
+  // Pass 2: everything judged in one member's event order.
+  void scan(std::size_t ring_idx) {
+    const RingTrace& r = rings_[ring_idx];
+    std::map<std::uint32_t, ScanState> states;
+    std::unordered_set<std::uint64_t> xseen;  // xids delivered by this ring
     auto& durable = delivered_by_ring_[r.label];
+    auto& groups = ring_groups_[r.label];
+
+    Time cutoff = Time::infinity();
+    bool have_cutoff = false;
+    for (const auto& [label, t] : opts_.ring_cutoffs) {
+      if (label == r.label) {
+        cutoff = t;
+        have_cutoff = true;
+        break;
+      }
+    }
 
     for (const TraceEvent& e : r.events) {
       if (full()) return;
+      if (have_cutoff && e.at >= cutoff) continue;
+      groups.insert(e.group);
+      auto [sit, fresh] = states.try_emplace(e.group);
+      ScanState& st = sit->second;
+      if (fresh) st.expected = opts_.first_seq;
       switch (e.kind) {
         case EventKind::accept:
-          accepted.insert(e.seq);
+          st.accepted.insert(e.seq);
           break;
         case EventKind::view:
-          marks.insert(e.seq);
+          st.marks.insert(e.seq);
           break;
         case EventKind::send_done:
           if (opts_.check_validity && e.flags != 0 &&
-              self_delivered.count(e.msg_id) == 0) {
+              st.self_delivered.count(e.msg_id) == 0) {
             add("validity",
                 where(r, e) + " reported ok but msg=" +
                     std::to_string(e.msg_id) + " was never delivered here");
@@ -153,13 +180,53 @@ class Checker {
           // every durable ring must end up holding it — wherever the
           // sender's own ring ranks.
           if (e.flags != 0) {
-            delivered_anywhere_.try_emplace(pack(e.member, e.msg_id),
-                                            where(r, e));
+            delivered_anywhere_.try_emplace(
+                MsgKey{e.group, e.member, e.msg_id}, where(r, e));
           }
           break;
         case EventKind::deliver:
-          check_delivery(r, e, accepted, marks, have_prev, expected, last_app,
-                         self_delivered, durable);
+          check_delivery(r, e, st, durable);
+          break;
+        case EventKind::xsend:
+          // flags: 0 = admitted, 1 = completed ok, 2 = failed.
+          if (opts_.check_xshard) {
+            if (e.flags == 0) {
+              xsend_mask_.try_emplace(e.a, std::pair{e.msg_id, where(r, e)});
+            } else if (e.flags == 1) {
+              xsend_ok_.try_emplace(e.a, std::pair{e.msg_id, where(r, e)});
+            }
+          }
+          break;
+        case EventKind::xcommit:
+          // Every shard must fix the same final timestamp for an xid.
+          if (opts_.check_xshard) {
+            auto [it, inserted] =
+                xcommit_ts_.try_emplace(e.a, std::pair{e.seq, where(r, e)});
+            if (!inserted && it->second.first != e.seq) {
+              add("xshard-commit",
+                  "two shards committed different final timestamps for xid=" +
+                      std::to_string(e.a) + ":\n    " + it->second.second +
+                      "\n    " + where(r, e));
+            }
+          }
+          break;
+        case EventKind::xdeliver:
+          if (opts_.check_xshard) {
+            if (!xseen.insert(e.a).second) {
+              add("xshard-dup", where(r, e) + " delivered xid=" +
+                                    std::to_string(e.a) + " twice");
+              break;
+            }
+            // Genuineness against the mask the delivery itself carries; the
+            // admitted mask is cross-checked in check_xshard.
+            if (e.group >= 32 || ((e.msg_id >> e.group) & 1u) == 0) {
+              add("xshard-genuine",
+                  where(r, e) + " delivered in a shard its mask does not "
+                                "address");
+            }
+            xdelivered_[e.a].push_back(XDeliver{e.group, where(r, e)});
+            ring_xorder_[ring_idx].push_back(e.a);
+          }
           break;
         default:
           break;
@@ -167,43 +234,37 @@ class Checker {
     }
   }
 
-  void check_delivery(const RingTrace& r, const TraceEvent& e,
-                      const std::unordered_set<SeqNum>& accepted,
-                      const std::set<SeqNum>& marks, bool& have_prev,
-                      SeqNum& expected,
-                      std::unordered_map<group::MemberId, std::uint32_t>&
-                          last_app,
-                      std::unordered_set<std::uint32_t>& self_delivered,
-                      std::unordered_set<std::uint64_t>& durable) {
-    if (opts_.check_accept_before_deliver && accepted.count(e.seq) == 0) {
+  void check_delivery(const RingTrace& r, const TraceEvent& e, ScanState& st,
+                      std::set<MsgKey>& durable) {
+    if (opts_.check_accept_before_deliver && st.accepted.count(e.seq) == 0) {
       add("accept-before-deliver",
           where(r, e) + " delivered without a prior accept");
     }
 
     if (opts_.check_gap_free) {
-      if (!have_prev) {
-        if (e.seq != opts_.first_seq && marks.count(e.seq) == 0) {
+      if (!st.have_prev) {
+        if (e.seq != opts_.first_seq && st.marks.count(e.seq) == 0) {
           add("gap-free", where(r, e) + " first delivery is neither first_seq=" +
                               std::to_string(opts_.first_seq) +
                               " nor a view position");
         }
-        have_prev = true;
-        expected = e.seq + 1;
-      } else if (e.seq == expected) {
-        ++expected;
-      } else if (marks.count(e.seq) != 0) {
-        expected = e.seq + 1;  // join / recovery restart at a view position
+        st.have_prev = true;
+        st.expected = e.seq + 1;
+      } else if (e.seq == st.expected) {
+        ++st.expected;
+      } else if (st.marks.count(e.seq) != 0) {
+        st.expected = e.seq + 1;  // join / recovery restart at a view position
       } else {
         add("gap-free", where(r, e) + " expected seq " +
-                            std::to_string(expected) + " next");
-        expected = e.seq + 1;  // resync so one gap reports once
+                            std::to_string(st.expected) + " next");
+        st.expected = e.seq + 1;  // resync so one gap reports once
       }
     }
 
     // The agreement table doubles as the reference history for the restart
     // check, so it is kept even when the agreement invariant itself is off.
     if (opts_.check_agreement || !opts_.restart_pairs.empty()) {
-      const auto key = pack(e.inc, e.seq);
+      const SlotKey key{e.group, e.inc, e.seq};
       const DeliveryId id{e.peer, e.msg_id, e.mkind, e.a};
       auto [it, inserted] =
           agreement_.try_emplace(key, std::pair{id, where(r, e)});
@@ -216,7 +277,7 @@ class Checker {
     }
 
     if (opts_.check_stamps) {
-      auto it = stamp_content_.find({e.seq, e.peer, e.msg_id});
+      auto it = stamp_content_.find({e.group, e.seq, e.peer, e.msg_id});
       if (it == stamp_content_.end()) {
         add("stamps", where(r, e) + " delivered but never stamped");
       } else if (it->second.count(e.a) == 0) {
@@ -227,7 +288,7 @@ class Checker {
 
     if (e.mkind == group::MessageKind::app) {
       if (opts_.check_fifo) {
-        auto [it, inserted] = last_app.try_emplace(e.peer, e.msg_id);
+        auto [it, inserted] = st.last_app.try_emplace(e.peer, e.msg_id);
         if (!inserted) {
           if (e.msg_id <= it->second) {
             add("fifo", where(r, e) + " after msg=" +
@@ -238,8 +299,8 @@ class Checker {
           }
         }
       }
-      if (e.peer == e.member) self_delivered.insert(e.msg_id);
-      const auto key = pack(e.peer, e.msg_id);
+      if (e.peer == e.member) st.self_delivered.insert(e.msg_id);
+      const MsgKey key{e.group, e.peer, e.msg_id};
       durable.insert(key);
       // Deliveries obligate the durable set only when they happened at a
       // ring the caller claims durable: a delivery at a crashed node whose
@@ -263,16 +324,28 @@ class Checker {
           continue;
         }
       }
-      const std::unordered_set<std::uint64_t>* have =
+      const std::set<MsgKey>* have =
           it != delivered_by_ring_.end() ? &it->second : nullptr;
+      // A ring is only obligated for the groups it participates in (in a
+      // sharded run, shard 0's member never holds shard 1's messages). An
+      // empty group set — a listed ring that never traced anything — keeps
+      // the conservative obligation to everything.
+      const std::set<std::uint32_t>* groups = nullptr;
+      auto git = ring_groups_.find(label);
+      if (git != ring_groups_.end() && !git->second.empty()) {
+        groups = &git->second;
+      }
       for (const auto& [key, at] : delivered_anywhere_) {
         if (full()) return;
+        if (groups != nullptr && groups->count(std::get<0>(key)) == 0) {
+          continue;
+        }
         if (have == nullptr || have->count(key) == 0) {
           add("durability",
-              label + " is missing msg=" +
-                  std::to_string(static_cast<std::uint32_t>(key)) +
-                  " from m" + std::to_string(key >> 32) +
-                  ", witnessed elsewhere:\n    " + at);
+              label + " is missing msg=" + std::to_string(std::get<2>(key)) +
+                  " from m" + std::to_string(std::get<1>(key)) + " (g" +
+                  std::to_string(std::get<0>(key)) +
+                  "), witnessed elsewhere:\n    " + at);
         }
       }
     }
@@ -332,7 +405,7 @@ class Checker {
         recovered.insert(e.seq);
         // The recovered record must be the message the group agreed on for
         // that slot — recovery may not rewrite history.
-        auto it = agreement_.find(pack(e.inc, e.seq));
+        auto it = agreement_.find({e.group, e.inc, e.seq});
         if (it != agreement_.end()) {
           const DeliveryId id{e.peer, e.msg_id, e.mkind, e.a};
           if (!(it->second.first == id)) {
@@ -357,22 +430,114 @@ class Checker {
     }
   }
 
+  // Pass 3: cross-shard obligations that need the whole trace — the xsend
+  // records live on origin-node rings while the xdeliver records live on
+  // shard-member rings.
+  void check_xshard() {
+    if (!opts_.check_xshard) return;
+
+    // Genuineness against the admitted mask: a delivery in a shard the
+    // origin never addressed is a routing bug even if the commit frame's
+    // own mask was forged to cover it.
+    for (const auto& [xid, dels] : xdelivered_) {
+      if (full()) return;
+      auto it = xsend_mask_.find(xid);
+      if (it == xsend_mask_.end()) continue;
+      for (const XDeliver& d : dels) {
+        if (d.group >= 32 || ((it->second.first >> d.group) & 1u) == 0) {
+          add("xshard-genuine",
+              d.at + " delivered in a shard the origin never addressed:\n    " +
+                  it->second.second);
+        }
+      }
+    }
+
+    // Atomicity: an ok completion promises delivery in every addressed
+    // shard. Per-member coverage within a shard is the underlying stream's
+    // durability obligation; here one witness per shard suffices.
+    for (const auto& [xid, rec] : xsend_ok_) {
+      if (full()) return;
+      auto mit = xsend_mask_.find(xid);
+      const std::uint32_t mask =
+          mit != xsend_mask_.end() ? mit->second.first : rec.first;
+      auto dit = xdelivered_.find(xid);
+      for (std::uint32_t s = 0; s < 32; ++s) {
+        if (((mask >> s) & 1u) == 0) continue;
+        bool witnessed = false;
+        if (dit != xdelivered_.end()) {
+          for (const XDeliver& d : dit->second) {
+            witnessed = witnessed || d.group == s;
+          }
+        }
+        if (!witnessed) {
+          add("xshard-atomic",
+              rec.second + " completed ok but xid=" + std::to_string(xid) +
+                  " was never delivered in shard " + std::to_string(s));
+        }
+      }
+    }
+
+    // Relative order: any two xids delivered by the same two rings must
+    // appear in the same order at both. Within a shard this restates
+    // agreement; across shards it is the whole point of the max-timestamp
+    // exchange — messages sharing >= 2 destinations are consistently
+    // ordered everywhere. Checked per ring pair: ring j's common
+    // subsequence must be increasing in ring i's positions.
+    for (auto i = ring_xorder_.begin(); i != ring_xorder_.end(); ++i) {
+      std::unordered_map<std::uint64_t, std::size_t> pos;
+      for (std::size_t k = 0; k < i->second.size(); ++k) {
+        pos.emplace(i->second[k], k);
+      }
+      for (auto j = std::next(i); j != ring_xorder_.end(); ++j) {
+        if (full()) return;
+        bool have_prev = false;
+        std::size_t prev_pos = 0;
+        std::uint64_t prev_xid = 0;
+        for (const std::uint64_t xid : j->second) {
+          auto it = pos.find(xid);
+          if (it == pos.end()) continue;
+          if (have_prev && it->second < prev_pos) {
+            add("xshard-order",
+                "xid=" + std::to_string(prev_xid) + " and xid=" +
+                    std::to_string(xid) + " delivered in opposite orders at " +
+                    rings_[i->first].label + " and " + rings_[j->first].label);
+            break;
+          }
+          have_prev = true;
+          prev_pos = it->second;
+          prev_xid = xid;
+        }
+      }
+    }
+  }
+
   const std::vector<RingTrace>& rings_;
   const OracleOptions& opts_;
   Verdict verdict_;
 
-  std::unordered_map<std::uint64_t, StampRec> stamp_at_;
-  std::map<std::tuple<SeqNum, group::MemberId, std::uint32_t>,
+  std::map<SlotKey, StampRec> stamp_at_;
+  std::map<std::tuple<std::uint32_t, SeqNum, group::MemberId, std::uint32_t>,
            std::set<std::uint64_t>>
       stamp_content_;
-  std::unordered_map<std::uint64_t, ViewRec> views_normal_;
-  std::unordered_map<std::uint64_t, ViewRec> views_recovery_;
-  std::unordered_map<std::uint64_t, std::pair<DeliveryId, std::string>>
-      agreement_;
-  std::unordered_map<std::string, std::unordered_set<std::uint64_t>>
-      delivered_by_ring_;
-  std::map<std::uint64_t, std::string> delivered_anywhere_;
+  std::map<SlotKey, ViewRec> views_normal_;
+  std::map<SlotKey, ViewRec> views_recovery_;
+  std::map<SlotKey, std::pair<DeliveryId, std::string>> agreement_;
+  std::unordered_map<std::string, std::set<MsgKey>> delivered_by_ring_;
+  std::unordered_map<std::string, std::set<std::uint32_t>> ring_groups_;
+  std::map<MsgKey, std::string> delivered_anywhere_;
   const std::set<std::string> durable_labels_;
+
+  struct XDeliver {
+    std::uint32_t group;
+    std::string at;
+  };
+  // xid -> admitted/ok xsend records (mask + where), commit timestamps,
+  // deliveries, and per-ring delivery order.
+  std::map<std::uint64_t, std::pair<std::uint32_t, std::string>> xsend_mask_;
+  std::map<std::uint64_t, std::pair<std::uint32_t, std::string>> xsend_ok_;
+  std::map<std::uint64_t, std::pair<SeqNum, std::string>> xcommit_ts_;
+  std::map<std::uint64_t, std::vector<XDeliver>> xdelivered_;
+  std::map<std::size_t, std::vector<std::uint64_t>> ring_xorder_;
 };
 
 }  // namespace

@@ -35,6 +35,26 @@
 //                 that returned ok. Sound when total crashes <= r and the
 //                 listed members are in the final view and quiesced; the
 //                 caller asserts that context.
+//   xshard      — cross-shard atomic multicast (sharded Node extension):
+//                 exactly-once: no ring delivers the same xid twice;
+//                 genuineness: an xid is never delivered in a shard outside
+//                 its destination mask (checked against both the mask the
+//                 delivery itself carries and the mask recorded when the
+//                 origin admitted the send);
+//                 commit agreement: every shard that fixes a final
+//                 timestamp for an xid fixes the same one;
+//                 atomicity: a cross-shard send that completed ok was
+//                 delivered in every addressed shard (somewhere — per-ring
+//                 coverage within a shard is the stream's durability job);
+//                 relative order: two xids delivered by the same two rings
+//                 appear in the same relative order at both, so messages
+//                 sharing >= 2 destination shards are consistently ordered
+//                 everywhere.
+//
+//   All tables are additionally keyed by the event's `group` tag, so one
+//   collector may hold rings of many shards without cross-shard aliasing
+//   of (incarnation, seq) or (sender, msg_id) coordinates.
+//
 //   restart     — durability across crash-restart-with-disk: for each
 //                 (pre, post) ring pair in `restart_pairs`, everything the
 //                 pre-crash incarnation reported synced to disk (its last
@@ -65,6 +85,9 @@ struct OracleOptions {
   bool check_fifo{true};
   bool check_view_sync{true};
   bool check_validity{true};
+  /// Cross-shard obligations (see `xshard` above). Harmless when the trace
+  /// has no xsend/xdeliver events, so it defaults on.
+  bool check_xshard{true};
 
   /// Labels of rings expected to hold every application message delivered
   /// anywhere (see `durability` above). Empty: durability not checked.
@@ -78,6 +101,15 @@ struct OracleOptions {
     std::string post;
   };
   std::vector<RestartPair> restart_pairs;
+
+  /// Per-ring observation cutoffs: events recorded at or after the cutoff
+  /// are invisible to the oracle. A simulated crash only severs the NIC —
+  /// the station's members keep executing locally, may expel everyone they
+  /// can no longer hear and then "complete" sends against their solo view.
+  /// A real fail-stop station's post-crash actions are unobservable, so
+  /// harnesses truncate the victim's rings at the crash instant; pre-crash
+  /// obligations (completions the survivors must honor) stay enforced.
+  std::vector<std::pair<std::string, Time>> ring_cutoffs;
 
   /// Stop collecting after this many violations (reports stay readable).
   std::size_t max_violations{16};

@@ -53,6 +53,12 @@ enum class EventKind : std::uint8_t {
   log_recover, // one message recovered from disk at restart: seq, inc,
                // peer = sender, msg_id, a = payload fingerprint
   restart,     // member reattached a recovered log: seq = hi, a = lo
+  // --- Cross-shard atomic multicast (EXTENSION: sharded Node layer) ------
+  xsend,       // node admitted a multi-shard send: a = xid, msg_id = mask
+  xpropose,    // shard sequencer proposed a timestamp: a = xid, seq = ts
+  xcommit,     // final timestamp fixed: a = xid, seq = final ts
+  xdeliver,    // cross-shard message delivered in `group`: a = xid,
+               // seq = local position, msg_id = shard mask
 };
 
 const char* to_string(EventKind k);
@@ -65,6 +71,10 @@ struct TraceEvent {
   EventKind kind{EventKind::send};
   group::MemberId member{group::kInvalidMember};  // who recorded it
   group::Incarnation inc{0};
+  /// Which group (shard) the event belongs to. 0 for the classic
+  /// single-group runs; a sharded Node tags each member's events with its
+  /// shard id so a shared collector never conflates shards.
+  std::uint32_t group{0};
   group::MessageKind mkind{group::MessageKind::app};
   std::uint8_t flags{0};  // kind-specific (via_bb, from_recovery, ...)
   group::MemberId peer{group::kInvalidMember};

@@ -151,6 +151,22 @@ struct GroupConfig {
   /// Concurrent large transfers the sequencer admits.
   int fc_slots = 2;
 
+  // --- Sharding / cross-shard multicast (EXTENSION: ROADMAP item 1) ---------
+  /// Which shard this member belongs to when hosted by a multi-group Node.
+  /// Stamped into every TraceEvent this member emits so one collector can
+  /// attribute events to shards; 0 (the default) keeps the classic
+  /// single-group behaviour and trace shape.
+  std::uint32_t group_tag = 0;
+  /// Accept cross-shard coordination traffic (xshard_send / xshard_commit)
+  /// at this shard's sequencer. Off by default: the paper protocol rejects
+  /// the new wire types, so Fig 1-8 runs are bit-for-bit unchanged.
+  bool cross_shard = false;
+  /// Retry cadence for the Node's xshard_send / xshard_commit exchanges
+  /// (each is one unicast + one reply; lost datagrams are re-sent with the
+  /// same backoff discipline as plain sends).
+  Duration xshard_retry = Duration::millis(100);
+  int xshard_retries = 10;
+
   // --- Durable log (EXTENSION: ROADMAP item 4) ------------------------------
   // Off by default so the paper-reproduction tables keep running the
   // memory-only protocol; see docs/DURABILITY.md.
@@ -172,6 +188,13 @@ struct GroupConfig {
       return Status::bad_config;
     }
     if (max_outstanding < 1) max_outstanding = 1;
+    if (cross_shard) {
+      if (xshard_retries < 1 || xshard_retry.ns <= 0) {
+        return Status::bad_config;
+      }
+      // Shard tags travel as bits of a 32-bit destination mask.
+      if (group_tag >= 32) return Status::bad_config;
+    }
     // A NACK (or a packed frame) can never usefully cover more messages
     // than the history retains, nor more bytes than one message may hold.
     if (nack_batch > history_size) {

@@ -17,7 +17,9 @@ namespace amoeba::group {
 namespace {
 /// Order-sensitive hash of a membership list (members_ is sorted by id),
 /// so two members install_view-ing the same view trace the same value.
-std::uint64_t view_hash(const std::vector<MemberInfo>& members) {
+/// Only referenced from GTRACE, which AMOEBA_TRACE=OFF compiles out.
+[[maybe_unused]] std::uint64_t view_hash(
+    const std::vector<MemberInfo>& members) {
   std::uint64_t h = 1469598103934665603ULL;
   for (const MemberInfo& m : members) {
     h ^= m.id;
@@ -81,6 +83,7 @@ GroupMember::~GroupMember() {
   exec_.cancel_timer(tentative_sweep_timer_);
   exec_.cancel_timer(log_sync_timer_);
   exec_.cancel_timer(fsync_timer_);
+  exec_.cancel_timer(xrelease_timer_);
   if (recovery_.has_value()) exec_.cancel_timer(recovery_->timer);
   for (Outgoing& o : outs_) exec_.cancel_timer(o.timer);
   flip_.unregister_endpoint(my_addr_);
@@ -277,6 +280,9 @@ void GroupMember::install_view(bool from_recovery) {
          .peer = seq_id_, .seq = next_deliver_,
          .msg_id = static_cast<std::uint32_t>(members_.size()),
          .a = view_hash(members_));
+  if (cfg_.cross_shard) {
+    xshard_note_role(state_ == State::running && my_id_ == seq_id_);
+  }
   if (cbs_.on_view) {
     ViewChange v;
     v.incarnation = inc_;
@@ -321,6 +327,8 @@ void GroupMember::enter_failed(Status why) {
   pending_accepts_.clear();
   batch_bytes_pending_ = 0;
   frame_cache_.clear();
+  xshard_clear();
+  x_was_seq_ = false;
   auto outstanding = std::move(outs_);
   outs_.clear();
   for (Outgoing& o : outstanding) {
@@ -575,6 +583,12 @@ void GroupMember::dispatch(const flip::Address& src, WireMsg m) {
       break;
     case WireType::fc_rts:
       if (i_am_sequencer()) seq_on_rts(m);
+      break;
+    case WireType::xshard_send:
+      if (i_am_sequencer() && cfg_.cross_shard) seq_on_xshard_send(m);
+      break;
+    case WireType::xshard_commit:
+      if (i_am_sequencer() && cfg_.cross_shard) seq_on_xshard_commit(m);
       break;
     case WireType::fc_cts:
       if (Outgoing* o = find_outgoing(m.msg_id);
@@ -900,8 +914,16 @@ void GroupMember::on_seq_accept_range(const WireMsg& m) {
 void GroupMember::maybe_send_resil_ack(SeqNum seq, MemberId sender) {
   // "if its member identifier is lower than r, it sends an
   // acknowledgement" — excluding the sending kernel, whose copy is
-  // implicit. Only ack what we actually buffered.
-  if (my_id_ >= cfg_.resilience || my_id_ == sender) return;
+  // implicit: we ack iff we rank among the r lowest-numbered members
+  // besides the sender (mirrors resil_ackers — when the sender itself
+  // holds one of the r lowest ids, the next member up substitutes).
+  // Only ack what we actually buffered.
+  if (my_id_ == sender) return;
+  std::uint32_t rank = 0;
+  for (const MemberInfo& m : members_) {
+    if (m.id != sender && m.id < my_id_) ++rank;
+  }
+  if (rank >= cfg_.resilience) return;
   const auto it = ooo_.find(seq);
   if (it == ooo_.end() || !it->second.have_data) return;
   WireMsg ack;
@@ -975,7 +997,20 @@ void GroupMember::deliver(SeqNum seq, PendingMsg msg) {
     }
   }
 
-  if (gm.kind != MessageKind::app) {
+  // Cross-shard entries are data, not membership: they ride the ordered
+  // stream but must not go anywhere near apply_membership / install_view.
+  // Every member (not just the sequencer) tracks the shard clock from the
+  // delivered final timestamps: a follower later promoted by a reset or
+  // hand-off must propose above everything already released into the
+  // history it has seen, or a post-crash round could order below an
+  // already-delivered message and invert the cross-shard order.
+  if (gm.kind == MessageKind::xshard && cfg_.cross_shard) {
+    XShardCommit xc;
+    if (decode_xshard_commit_payload(gm.data, xc) && xc.final_ts > xclock_) {
+      xclock_ = xc.final_ts;
+    }
+  }
+  if (gm.kind != MessageKind::app && gm.kind != MessageKind::xshard) {
     apply_membership(gm);
   }
   if (leaving_ && i_am_sequencer()) check_sequencer_handoff();
@@ -1468,7 +1503,7 @@ std::string GroupMember::describe(const WireMsg& msg) {
       "leave_req",   "reset_invite", "reset_vote",    "reset_retrieve",
       "reset_missing", "reset_result", "fc_rts",      "fc_cts",
       "seq_packed",  "seq_accept_range", "ckpt_horizon",
-      "compaction_notice",
+      "compaction_notice", "xshard_send", "xshard_propose", "xshard_commit",
   };
   const auto t = static_cast<std::size_t>(msg.type);
   char buf[160];

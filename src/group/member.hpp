@@ -80,6 +80,12 @@ struct GroupStats {
   RelaxedCounter checkpoints_taken;  // note_checkpoint() calls
   /// Gauge: latest group-agreed compaction horizon this member applied.
   RelaxedCounter compaction_horizon;
+  // Cross-shard atomic multicast (EXTENSION: sharded Node layer).
+  RelaxedCounter xshard_proposals;   // timestamp proposals issued (sequencer)
+  RelaxedCounter xshard_commits;     // commits received (incl. duplicates)
+  RelaxedCounter xshard_injected;    // committed messages entered the stream
+  RelaxedCounter xshard_expired;     // uncommitted pendings timed out
+  RelaxedCounter xshard_quarantines; // release holds after a role change
 };
 
 class DurableLog;
@@ -160,6 +166,7 @@ class GroupMember {
   /// are recorded for the ConformanceOracle. Null detaches. One
   /// null-check per site when unset; compiled out with AMOEBA_TRACE=OFF.
   void set_trace_ring(check::TraceRing* ring) { trace_ring_ = ring; }
+  check::TraceRing* trace_ring() const { return trace_ring_; }
 
   // --- Durable log (EXTENSION: ROADMAP item 4; see docs/DURABILITY.md) ----
   /// Attach an opened durable log. With cfg.durability != off every
@@ -305,6 +312,21 @@ class GroupMember {
   void seq_grant_next_fc();
   std::set<MemberId> resil_ackers(MemberId sender) const;
   bool history_full() const { return history_.size() >= cfg_.history_size; }
+
+  // --- Cross-shard atomic multicast (xshard.cpp) ----------------------------
+  void seq_on_xshard_send(const WireMsg& m);
+  void seq_on_xshard_commit(const WireMsg& m);
+  /// Release every committed cross-shard message whose position is decided:
+  /// minimal by (final_ts, xid) among commits AND not possibly preceded by
+  /// any still-uncommitted proposal. Injects releasable messages into the
+  /// ordinary total order and re-arms the release timer while blocked.
+  void xshard_try_release();
+  void xshard_schedule_release();
+  /// Role-boundary bookkeeping, called from install_view / enter_failed:
+  /// clears pending state on role loss and opens the post-acquisition
+  /// quarantine window on role gain (see docs/PROTOCOL.md).
+  void xshard_note_role(bool am_seq_now);
+  void xshard_clear();
 
   // --- Membership / views -------------------------------------------------------
   const MemberInfo* find_member(MemberId id) const;
@@ -494,6 +516,32 @@ class GroupMember {
   /// Highest incarnation seen in any recovery message; a fresh coordinacy
   /// must outbid every earlier attempt.
   Incarnation max_inc_seen_{0};
+
+  // Cross-shard atomic multicast (EXTENSION: sharded Node layer; sequencer
+  // role only — followers see committed messages as ordinary stream
+  // entries). See xshard.cpp for the protocol walk-through.
+  struct XPending {
+    std::uint64_t xid{0};
+    std::uint64_t proposed{0};  // our timestamp proposal
+    std::uint64_t final_ts{0};  // agreed max (committed only)
+    bool committed{false};
+    std::uint32_t mask{0};
+    flip::Address reply_to;  // origin node endpoint (re-propose target)
+    BufView payload;         // commit payload (committed entries only)
+    Time created{};          // admission time (uncommitted expiry)
+  };
+  std::map<std::uint64_t, XPending> xpending_;  // by xid
+  /// Lamport-style shard clock: max(own proposals, observed finals).
+  std::uint64_t xclock_{0};
+  /// xids already injected into the stream (bounded FIFO memory so a
+  /// re-sent commit after the injection is answered, not re-ordered).
+  std::set<std::uint64_t> xreleased_;
+  std::deque<std::uint64_t> xreleased_fifo_;
+  /// Post-role-acquisition hold: no releases before this instant, so
+  /// origin retries can repopulate the pending table a predecessor lost.
+  Time xquarantine_until_{};
+  bool x_was_seq_{false};
+  transport::TimerId xrelease_timer_{transport::kInvalidTimer};
 
   // Durable log (EXTENSION: ROADMAP item 4). Owned by the embedder (test
   // harness / application); null means memory-only, the paper's protocol.

@@ -66,7 +66,7 @@ std::optional<WireMsg> decode_wire(BufView bytes) {
   const std::uint32_t payload_len = load_le32(p + 39);
   if (bytes.size() - kHeaderBytes != payload_len) return std::nullopt;
   const auto t = static_cast<std::uint8_t>(m.type);
-  if (t < 1 || t > static_cast<std::uint8_t>(WireType::compaction_notice)) {
+  if (t < 1 || t > static_cast<std::uint8_t>(WireType::xshard_commit)) {
     return std::nullopt;
   }
   // Zero-copy: the payload is a slice of the datagram, and the steal keeps
@@ -215,6 +215,102 @@ bool decode_accept_range_payload(const WireMsg& m,
     recs.push_back(a);
     p += kRangeRecBytes;
   }
+  return true;
+}
+
+// --- Cross-shard atomic multicast frames -----------------------------------
+//
+// xshard_send payload:    xid(8) mask(4) origin(4) data...      (>= 16)
+// xshard_propose payload: xid(8) shard(4) ts(8)                 (== 20)
+// xshard_commit payload:  xid(8) mask(4) origin(4) final(8) data... (>= 24)
+//
+// The commit layout is also the payload of the MessageKind::xshard entry the
+// sequencer injects into its stream, so decode_xshard_commit_payload serves
+// both the coordination path and ordinary delivery.
+
+namespace {
+constexpr std::size_t kXSendHeadBytes = 16;
+constexpr std::size_t kXProposeBytes = 20;
+constexpr std::size_t kXCommitHeadBytes = 24;
+}  // namespace
+
+BufView encode_xshard_send_wire(const WireMsg& header, const XShardSend& x) {
+  assert(header.type == WireType::xshard_send);
+  const std::size_t payload = kXSendHeadBytes + x.data.size();
+  SharedBuffer buf = SharedBuffer::allocate(kHeaderBytes + payload);
+  std::uint8_t* p = buf.data();
+  write_header(p, header, payload);
+  p += kHeaderBytes;
+  store_le64(p, x.xid);
+  store_le32(p + 8, x.mask);
+  store_le32(p + 12, x.origin);
+  if (!x.data.empty()) {
+    std::memcpy(p + kXSendHeadBytes, x.data.data(), x.data.size());
+  }
+  return buf;
+}
+
+bool decode_xshard_send_payload(const BufView& payload, XShardSend& out) {
+  if (payload.size() < kXSendHeadBytes) return false;
+  const std::uint8_t* p = payload.data();
+  out.xid = load_le64(p);
+  out.mask = load_le32(p + 8);
+  out.origin = load_le32(p + 12);
+  if (out.mask == 0) return false;  // a send must address some shard
+  out.data =
+      payload.subview(kXSendHeadBytes, payload.size() - kXSendHeadBytes);
+  return true;
+}
+
+BufView encode_xshard_propose_wire(const WireMsg& header,
+                                   const XShardPropose& x) {
+  assert(header.type == WireType::xshard_propose);
+  SharedBuffer buf = SharedBuffer::allocate(kHeaderBytes + kXProposeBytes);
+  std::uint8_t* p = buf.data();
+  write_header(p, header, kXProposeBytes);
+  p += kHeaderBytes;
+  store_le64(p, x.xid);
+  store_le32(p + 8, x.shard);
+  store_le64(p + 12, x.ts);
+  return buf;
+}
+
+bool decode_xshard_propose_payload(const BufView& payload, XShardPropose& out) {
+  if (payload.size() != kXProposeBytes) return false;
+  const std::uint8_t* p = payload.data();
+  out.xid = load_le64(p);
+  out.shard = load_le32(p + 8);
+  out.ts = load_le64(p + 12);
+  return true;
+}
+
+BufView encode_xshard_commit_wire(const WireMsg& header, const XShardCommit& x) {
+  assert(header.type == WireType::xshard_commit);
+  const std::size_t payload = kXCommitHeadBytes + x.data.size();
+  SharedBuffer buf = SharedBuffer::allocate(kHeaderBytes + payload);
+  std::uint8_t* p = buf.data();
+  write_header(p, header, payload);
+  p += kHeaderBytes;
+  store_le64(p, x.xid);
+  store_le32(p + 8, x.mask);
+  store_le32(p + 12, x.origin);
+  store_le64(p + 16, x.final_ts);
+  if (!x.data.empty()) {
+    std::memcpy(p + kXCommitHeadBytes, x.data.data(), x.data.size());
+  }
+  return buf;
+}
+
+bool decode_xshard_commit_payload(const BufView& payload, XShardCommit& out) {
+  if (payload.size() < kXCommitHeadBytes) return false;
+  const std::uint8_t* p = payload.data();
+  out.xid = load_le64(p);
+  out.mask = load_le32(p + 8);
+  out.origin = load_le32(p + 12);
+  out.final_ts = load_le64(p + 16);
+  if (out.mask == 0) return false;
+  out.data =
+      payload.subview(kXCommitHeadBytes, payload.size() - kXCommitHeadBytes);
   return true;
 }
 

@@ -55,6 +55,10 @@ enum class WireType : std::uint8_t {
   seq_accept_range,  // sequencer -> group: accepts for [range_from, +count)
   ckpt_horizon,      // member -> sequencer: checkpoint covers [.., seq)
   compaction_notice, // sequencer -> group: all members checkpointed < seq
+  // --- Cross-shard atomic multicast (EXTENSION: sharded Node layer) -------
+  xshard_send,     // node -> shard sequencer: propose a timestamp for xid
+  xshard_propose,  // shard sequencer -> node: proposed timestamp
+  xshard_commit,   // node -> shard sequencer: final timestamp + payload
 };
 
 /// Flag bits in WireMsg::flags.
@@ -151,6 +155,59 @@ BufView encode_accept_range_wire(const WireMsg& header,
 /// header.range_from + index. False on length/count mismatch.
 bool decode_accept_range_payload(const WireMsg& m,
                                  std::vector<AcceptRec>& recs);
+
+// --- Cross-shard atomic multicast frames (xshard_*) ------------------------
+//
+// A multi-shard send is coordinated by the origin Node (Skeen's algorithm,
+// the FlexCast / Generic Multicast lineage): the node asks every addressed
+// shard's sequencer for a timestamp proposal (xshard_send -> xshard_propose),
+// takes the maximum, and commits it back (xshard_commit, which carries the
+// payload again so a retried commit is self-contained after a sequencer
+// change). The committed frame's payload bytes double as the in-stream
+// representation: the sequencer injects them verbatim as a MessageKind::
+// xshard entry of its ordinary total order, so followers, resilience,
+// NACK/retransmit, and recovery treat it like any other stream message.
+
+/// Payload of xshard_send: xid (origin node id << 32 | counter), the
+/// addressed-shard bitmask, the origin node id, and the user bytes (carried
+/// so a proposal re-request after sequencer loss is self-contained).
+struct XShardSend {
+  std::uint64_t xid{0};
+  std::uint32_t mask{0};
+  std::uint32_t origin{0};
+  BufView data;
+};
+
+/// Payload of xshard_propose: one shard's timestamp proposal for xid.
+struct XShardPropose {
+  std::uint64_t xid{0};
+  std::uint32_t shard{0};
+  std::uint64_t ts{0};
+};
+
+/// Payload of xshard_commit AND of the injected MessageKind::xshard stream
+/// entry: the agreed final timestamp plus everything a shard that lost its
+/// pending state needs to deliver correctly.
+struct XShardCommit {
+  std::uint64_t xid{0};
+  std::uint32_t mask{0};
+  std::uint32_t origin{0};
+  std::uint64_t final_ts{0};
+  BufView data;
+};
+
+/// Encode full wire frames in one allocation (header + payload; user bytes
+/// copied exactly once). `header.type` must match.
+BufView encode_xshard_send_wire(const WireMsg& header, const XShardSend& x);
+BufView encode_xshard_propose_wire(const WireMsg& header,
+                                   const XShardPropose& x);
+BufView encode_xshard_commit_wire(const WireMsg& header, const XShardCommit& x);
+
+/// Parse payloads. `data` fields alias the input view (zero-copy). False on
+/// truncated or size-mismatched input.
+bool decode_xshard_send_payload(const BufView& payload, XShardSend& out);
+bool decode_xshard_propose_payload(const BufView& payload, XShardPropose& out);
+bool decode_xshard_commit_payload(const BufView& payload, XShardCommit& out);
 
 // --- Structured payload helpers ------------------------------------------
 

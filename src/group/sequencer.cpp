@@ -162,18 +162,25 @@ bool GroupMember::seq_assign(MemberId sender, std::uint32_t msg_id,
 
 std::set<MemberId> GroupMember::resil_ackers(MemberId sender) const {
   // "Any r members besides the sending kernel would be fine, but to
-  // simplify the implementation we pick the r lowest-numbered." The
+  // simplify the implementation we pick the r lowest-numbered" — besides
+  // the sending kernel: when the sender itself holds one of the r lowest
+  // ids the next member up substitutes, or an ok completion would rest on
+  // fewer than r remote copies and r crashes could lose the message. The
   // sequencer's own member may be among them; its acknowledgement takes
   // the local dispatch path (no wire traffic, but real processing).
-  std::set<MemberId> out;
+  std::set<MemberId> eligible;
   for (const MemberInfo& m : members_) {
     // A member whose leave/expel is already sequenced (pending_leaves_)
     // will never ack again; picking it would wedge the message until the
     // change delivers — which itself sits behind the wedge.
-    if (m.id < cfg_.resilience && m.id != sender &&
-        pending_leaves_.count(m.id) == 0) {
-      out.insert(m.id);
+    if (m.id != sender && pending_leaves_.count(m.id) == 0) {
+      eligible.insert(m.id);
     }
+  }
+  std::set<MemberId> out;
+  for (const MemberId id : eligible) {
+    if (out.size() >= cfg_.resilience) break;
+    out.insert(id);
   }
   return out;
 }

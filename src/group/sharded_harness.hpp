@@ -1,0 +1,136 @@
+// Sharded simulation harness: P processes, each hosting a multi-group Node
+// with a member in every one of S shards, on one simulated Ethernet.
+//
+// The per-process layout mirrors SimProcess (one FLIP stack and one fault
+// device per station), but the station carries S GroupMembers plus the
+// Node's cross-shard coordination endpoint. Shard s is created by process
+// (s mod P), so sequencer roles spread across the stations and a single
+// node crash takes out a mix of sequencer and follower roles.
+//
+// Tracing: every shard member gets its own ring (collector label
+// "n<i>.s<s>") and each Node gets one for its origin-side events ("n<i>"),
+// so the multi-group oracle sees per-shard streams plus the xsend
+// admissions/completions that anchor its atomicity obligation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/collector.hpp"
+#include "check/oracle.hpp"
+#include "group/node.hpp"
+#include "sim/world.hpp"
+#include "transport/fault.hpp"
+#include "transport/sim_runtime.hpp"
+
+namespace amoeba::group {
+
+/// One station: a Node hosting members of all shards.
+class ShardedProcess {
+ public:
+  ShardedProcess(sim::Node& node, std::uint32_t node_id,
+                 flip::Address node_addr, Node::Config ncfg,
+                 std::uint64_t fault_seed);
+
+  sim::Node& sim_node() { return node_; }
+  transport::SimExecutor& exec() { return exec_; }
+  transport::FaultDevice& faults() { return faults_; }
+  Node& node() { return *gnode_; }
+
+  /// Host shard `tag` on this station. `member_addr` must be unique.
+  void add_shard(std::uint32_t tag, flip::Address member_addr,
+                 GroupConfig cfg);
+
+  check::TraceRing& node_ring() { return *node_ring_; }
+  check::TraceRing& shard_ring(std::uint32_t tag) {
+    return *shard_rings_.at(tag);
+  }
+
+  /// One up-delivery recorded by the Node (cross-shard deliveries carry
+  /// their xid; single-shard ones have xid 0).
+  struct Delivery {
+    std::uint32_t shard{0};
+    std::uint64_t xid{0};
+    SeqNum seq{0};
+    std::uint64_t fp{0};  // payload fingerprint
+  };
+  const std::vector<Delivery>& delivered() const { return delivered_; }
+  void set_keep_deliveries(bool keep) { keep_deliveries_ = keep; }
+
+  /// Last on_fault status of shard `tag`'s member here (empty: none).
+  std::optional<Status> shard_fault(std::uint32_t tag) const {
+    auto it = shard_faults_.find(tag);
+    return it == shard_faults_.end() ? std::nullopt : it->second;
+  }
+
+ private:
+  sim::Node& node_;
+  transport::SimExecutor exec_;
+  transport::SimDevice dev_;
+  transport::FaultDevice faults_;
+  flip::FlipStack flip_;
+  std::unique_ptr<check::TraceRing> node_ring_;
+  std::vector<std::unique_ptr<check::TraceRing>> shard_rings_;  // by tag
+  std::unique_ptr<Node> gnode_;
+  std::vector<Delivery> delivered_;
+  std::map<std::uint32_t, std::optional<Status>> shard_faults_;
+  bool keep_deliveries_{true};
+};
+
+/// P stations x S shards on one simulated Ethernet.
+class ShardedHarness {
+ public:
+  ShardedHarness(std::size_t n_processes, std::uint32_t n_shards,
+                 GroupConfig cfg, Node::Config ncfg = {},
+                 sim::CostModel model = sim::CostModel::mc68030_ether10(),
+                 std::uint64_t seed = 1);
+
+  /// Create every shard (shard s by process s mod P) and join all other
+  /// processes, shard by shard. False if formation stalled.
+  bool form();
+
+  sim::World& world() { return world_; }
+  sim::Engine& engine() { return world_.engine(); }
+  ShardedProcess& process(std::size_t i) { return *procs_.at(i); }
+  std::size_t size() const { return procs_.size(); }
+  std::uint32_t shards() const { return n_shards_; }
+  flip::Address shard_addr(std::uint32_t s) const;
+
+  /// Mask with every shard's bit set.
+  std::uint32_t all_mask() const { return (1u << n_shards_) - 1; }
+
+  /// Fail-stop station i's NIC (members and Node keep running but are
+  /// unreachable — the classic crash model of the property suite).
+  void crash_node(std::size_t i) { procs_.at(i)->faults().crash(); }
+
+  bool run_until(const std::function<bool()>& pred, Duration deadline);
+  check::TraceCollector& traces() { return collector_; }
+  /// Oracle over everything traced so far. Cross-shard checks are on by
+  /// default; the caller supplies durable_rings etc.
+  check::Verdict check_conformance(check::OracleOptions opts = {});
+  void set_tracing(bool on);
+
+  const std::string& node_label(std::size_t i) const {
+    return node_labels_.at(i);
+  }
+  std::string shard_label(std::size_t i, std::uint32_t s) const {
+    return node_labels_.at(i) + ".s" + std::to_string(s);
+  }
+
+ private:
+  GroupConfig cfg_;
+  std::uint32_t n_shards_;
+  sim::World world_;
+  std::vector<std::unique_ptr<ShardedProcess>> procs_;
+  std::vector<std::string> node_labels_;
+  check::TraceCollector collector_;
+  bool tracing_{true};
+  std::uint64_t next_addr_{0x5000};
+  std::uint64_t seed_{1};
+};
+
+}  // namespace amoeba::group

@@ -13,7 +13,8 @@
                    .at = exec_.now(),                             \
                    .kind = ::amoeba::check::EventKind::kind_,     \
                    .member = my_id_,                              \
-                   .inc = inc_ __VA_OPT__(, ) __VA_ARGS__})
+                   .inc = inc_,                                   \
+                   .group = cfg_.group_tag __VA_OPT__(, ) __VA_ARGS__})
 
 // Same, under an explicit incarnation (recovery paths where inc_ is not
 // yet, or no longer, the incarnation the event belongs to).
@@ -23,4 +24,5 @@
                    .at = exec_.now(),                             \
                    .kind = ::amoeba::check::EventKind::kind_,     \
                    .member = my_id_,                              \
-                   .inc = (inc_v)__VA_OPT__(, ) __VA_ARGS__})
+                   .inc = (inc_v),                                \
+                   .group = cfg_.group_tag __VA_OPT__(, ) __VA_ARGS__})

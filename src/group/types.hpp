@@ -34,6 +34,13 @@ enum class MessageKind : std::uint8_t {
   /// retrospective recommends for bursty senders (Section 5); moving the
   /// role to the busiest sender makes its requests local.
   handoff,
+  /// EXTENSION: a committed cross-shard message, injected into this
+  /// shard's total order by its sequencer once the final timestamp is
+  /// agreed. Payload: XWrap header (xid, shard mask) + user bytes; the
+  /// Node layer unwraps it and hands the user bytes to the application.
+  /// Not a membership event — deliver() must not route it through
+  /// apply_membership.
+  xshard,
 };
 
 /// One totally-ordered delivery handed to the application.

@@ -46,7 +46,7 @@ TEST(GroupWire, HeaderAccountsForPapersByteBudget) {
 
 TEST(GroupWire, EveryTypeRoundTrips) {
   for (std::uint8_t t = 1;
-       t <= static_cast<std::uint8_t>(WireType::compaction_notice); ++t) {
+       t <= static_cast<std::uint8_t>(WireType::xshard_commit); ++t) {
     WireMsg m;
     m.type = static_cast<WireType>(t);
     m.sender = t;
@@ -73,14 +73,14 @@ TEST(GroupWire, RejectsGarbage) {
   EXPECT_FALSE(decode_wire(std::move(bytes)).has_value());
   Buffer zero(60, 0);  // type 0 is invalid
   EXPECT_FALSE(decode_wire(std::move(zero)).has_value());
-  // One past the last defined type (compaction_notice) must be rejected too:
+  // One past the last defined type (xshard_commit) must be rejected too:
   // this pins the decode bound to the end of the enum, so adding a wire type
   // without raising the bound fails here instead of silently dropping frames.
   WireMsg last;
-  last.type = WireType::compaction_notice;
+  last.type = WireType::xshard_commit;
   const BufView le = encode_wire(last);
   Buffer past(le.begin(), le.end());
-  past[0] = static_cast<std::uint8_t>(WireType::compaction_notice) + 1;
+  past[0] = static_cast<std::uint8_t>(WireType::xshard_commit) + 1;
   EXPECT_FALSE(decode_wire(std::move(past)).has_value());
 }
 
@@ -365,6 +365,171 @@ TEST(GroupWire, OverlappingAcceptRangesDecodeIndependently) {
     EXPECT_EQ(out.front().seq, from);
     EXPECT_EQ(out.back().seq, from + 3);
   }
+}
+
+// --- Cross-shard frames (xshard_send / xshard_propose / xshard_commit) -----
+
+WireMsg xshard_header(WireType t) {
+  WireMsg h;
+  h.type = t;
+  h.incarnation = 4;
+  h.sender = kInvalidMember;
+  h.addr = flip::process_address(0x5001);
+  return h;
+}
+
+TEST(GroupWire, XShardSendRoundTrip) {
+  XShardSend s;
+  s.xid = (std::uint64_t{7} << 32) | 19;
+  s.mask = 0b1010;
+  s.origin = 7;
+  const BufView pay = make_pattern_buffer(57);
+  s.data = pay;
+  auto d = decode_wire(
+      encode_xshard_send_wire(xshard_header(WireType::xshard_send), s));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, WireType::xshard_send);
+  EXPECT_EQ(d->incarnation, 4u);
+  EXPECT_EQ(d->sender, kInvalidMember);
+  EXPECT_EQ(d->addr, flip::process_address(0x5001));
+  XShardSend out;
+  ASSERT_TRUE(decode_xshard_send_payload(d->payload, out));
+  EXPECT_EQ(out.xid, s.xid);
+  EXPECT_EQ(out.mask, 0b1010u);
+  EXPECT_EQ(out.origin, 7u);
+  EXPECT_EQ(out.data, pay);
+}
+
+TEST(GroupWire, XShardSendEmptyDataRoundTrips) {
+  // An empty user payload is legal (the frame is pure coordination then).
+  XShardSend s;
+  s.xid = 1;
+  s.mask = 0b11;
+  auto d = decode_wire(
+      encode_xshard_send_wire(xshard_header(WireType::xshard_send), s));
+  ASSERT_TRUE(d.has_value());
+  XShardSend out;
+  ASSERT_TRUE(decode_xshard_send_payload(d->payload, out));
+  EXPECT_EQ(out.xid, 1u);
+  EXPECT_TRUE(out.data.empty());
+}
+
+TEST(GroupWire, XShardSendRejectsMalformedInput) {
+  XShardSend s;
+  s.xid = 42;
+  s.mask = 0b101;
+  s.origin = 3;
+  s.data = make_pattern_buffer(20);
+  auto good = decode_wire(
+      encode_xshard_send_wire(xshard_header(WireType::xshard_send), s));
+  ASSERT_TRUE(good.has_value());
+  XShardSend out;
+  // Truncations below the fixed head (xid 8 + mask 4 + origin 4 = 16).
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{7},
+                                std::size_t{15}}) {
+    EXPECT_FALSE(
+        decode_xshard_send_payload(good->payload.subview(0, cut), out))
+        << "cut=" << cut;
+  }
+  // A zero destination mask addresses nothing; reject it.
+  ASSERT_GE(good->payload.size(), 16u);
+  Buffer nomask(good->payload.size());
+  std::memcpy(nomask.data(), good->payload.data(), good->payload.size());
+  std::memset(nomask.data() + 8, 0, 4);
+  EXPECT_FALSE(decode_xshard_send_payload(std::move(nomask), out));
+}
+
+TEST(GroupWire, XShardProposeRoundTrip) {
+  XShardPropose p;
+  p.xid = (std::uint64_t{2} << 32) | 5;
+  p.shard = 3;
+  p.ts = 9001;
+  auto d = decode_wire(
+      encode_xshard_propose_wire(xshard_header(WireType::xshard_propose), p));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, WireType::xshard_propose);
+  XShardPropose out;
+  ASSERT_TRUE(decode_xshard_propose_payload(d->payload, out));
+  EXPECT_EQ(out.xid, p.xid);
+  EXPECT_EQ(out.shard, 3u);
+  EXPECT_EQ(out.ts, 9001u);
+}
+
+TEST(GroupWire, XShardProposeRejectsWrongLength) {
+  XShardPropose p;
+  p.xid = 1;
+  p.shard = 0;
+  p.ts = 1;
+  auto good = decode_wire(
+      encode_xshard_propose_wire(xshard_header(WireType::xshard_propose), p));
+  ASSERT_TRUE(good.has_value());
+  XShardPropose out;
+  ASSERT_TRUE(decode_xshard_propose_payload(good->payload, out));
+  // Fixed-size frame: any truncation is malformed...
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{8},
+                                std::size_t{19}}) {
+    EXPECT_FALSE(
+        decode_xshard_propose_payload(good->payload.subview(0, cut), out))
+        << "cut=" << cut;
+  }
+  // ...and so is trailing garbage (exact-length check, not a prefix parse).
+  ASSERT_EQ(good->payload.size(), 20u);
+  Buffer longer(good->payload.size() + 1);
+  std::memcpy(longer.data(), good->payload.data(), good->payload.size());
+  EXPECT_FALSE(decode_xshard_propose_payload(std::move(longer), out));
+}
+
+TEST(GroupWire, XShardCommitRoundTrip) {
+  XShardCommit c;
+  c.xid = (std::uint64_t{9} << 32) | 77;
+  c.mask = 0b1111;
+  c.origin = 9;
+  c.final_ts = 123456;
+  const BufView pay = make_pattern_buffer(33);
+  c.data = pay;
+  auto d = decode_wire(
+      encode_xshard_commit_wire(xshard_header(WireType::xshard_commit), c));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, WireType::xshard_commit);
+  XShardCommit out;
+  ASSERT_TRUE(decode_xshard_commit_payload(d->payload, out));
+  EXPECT_EQ(out.xid, c.xid);
+  EXPECT_EQ(out.mask, 0b1111u);
+  EXPECT_EQ(out.origin, 9u);
+  EXPECT_EQ(out.final_ts, 123456u);
+  EXPECT_EQ(out.data, pay);
+}
+
+TEST(GroupWire, XShardCommitRejectsMalformedInput) {
+  XShardCommit c;
+  c.xid = 5;
+  c.mask = 0b11;
+  c.final_ts = 7;
+  c.data = make_pattern_buffer(12);
+  auto good = decode_wire(
+      encode_xshard_commit_wire(xshard_header(WireType::xshard_commit), c));
+  ASSERT_TRUE(good.has_value());
+  XShardCommit out;
+  // Truncations below the fixed head (xid 8 + mask 4 + origin 4 + final 8).
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{15},
+                                std::size_t{23}}) {
+    EXPECT_FALSE(
+        decode_xshard_commit_payload(good->payload.subview(0, cut), out))
+        << "cut=" << cut;
+  }
+  // Zero mask rejected, as for xshard_send.
+  ASSERT_GE(good->payload.size(), 24u);
+  Buffer nomask(good->payload.size());
+  std::memcpy(nomask.data(), good->payload.data(), good->payload.size());
+  std::memset(nomask.data() + 8, 0, 4);
+  EXPECT_FALSE(decode_xshard_commit_payload(std::move(nomask), out));
+  // The whole frame still survives decode_wire with a truncated network
+  // buffer rejected at the outer layer (header/payload length mismatch).
+  const BufView enc =
+      encode_xshard_commit_wire(xshard_header(WireType::xshard_commit), c);
+  Buffer bytes(enc.begin(), enc.end());
+  bytes.resize(bytes.size() - 4);
+  EXPECT_FALSE(decode_wire(std::move(bytes)).has_value());
 }
 
 }  // namespace

@@ -82,6 +82,47 @@ TEST(GroupTrace, ResilienceAddsTentativeAckAcceptExchange) {
   EXPECT_EQ(accepts, 1) << "one final accept";
 }
 
+TEST(GroupTrace, SequencerOriginSendSubstitutesAckersBelowR) {
+  // Regression: with r = 1 a send from member 0 (the sequencer's own
+  // station) used to pick "the r lowest-numbered members minus the sender"
+  // = nobody, finalizing immediately with zero remote copies — one crash
+  // could then lose an ok-completed message. The next member up must
+  // substitute: member 1 acks, and only then does the accept go out.
+  GroupConfig cfg;
+  cfg.resilience = 1;
+  SimGroupHarness h(3, cfg);
+  ASSERT_TRUE(h.form_group());
+
+  int acks = 0, accepts = 0, tentatives = 0;
+  for (std::size_t p = 0; p < 3; ++p) {
+    h.process(p).member().set_trace(
+        [&](bool outgoing, const WireMsg& m, Time) {
+          if (!outgoing) return;
+          if (m.type == WireType::resil_ack) ++acks;
+          if (m.type == WireType::seq_accept &&
+              (m.flags & kFlagTentative) == 0) {
+            ++accepts;
+          }
+          if (m.type == WireType::seq_data &&
+              (m.flags & kFlagTentative) != 0) {
+            ++tentatives;
+          }
+        });
+  }
+
+  bool done = false;
+  h.process(0).user_send(make_pattern_buffer(10), [&](Status s) {
+    ASSERT_EQ(s, Status::ok);
+    done = true;
+  });
+  ASSERT_TRUE(h.run_until([&] { return done; }, Duration::seconds(5)));
+  h.run_until([] { return false; }, Duration::millis(20));
+
+  EXPECT_EQ(tentatives, 1) << "the entry must be offered tentatively";
+  EXPECT_EQ(acks, 1) << "member 1 substitutes for the sender's own id 0";
+  EXPECT_EQ(accepts, 1) << "the final accept waits for the substitute ack";
+}
+
 TEST(GroupTrace, DescribeIsReadable) {
   WireMsg m;
   m.type = WireType::seq_data;

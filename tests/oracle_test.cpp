@@ -46,6 +46,25 @@ class Hist {
     push({.kind = EventKind::send_done, .flags = 1, .msg_id = msg_id});
     return *this;
   }
+  /// Tag subsequent events with a shard (group) id.
+  Hist& in_group(std::uint32_t g) {
+    group_ = g;
+    return *this;
+  }
+  /// Origin-node record of a cross-shard send: flags 0 = admitted,
+  /// 1 = completed ok, 2 = failed; msg_id carries the destination mask.
+  Hist& xsend(std::uint64_t xid, std::uint32_t mask, std::uint8_t flags) {
+    push({.kind = EventKind::xsend, .flags = flags, .msg_id = mask, .a = xid});
+    return *this;
+  }
+  Hist& xcommit(std::uint64_t xid, SeqNum final_ts) {
+    push({.kind = EventKind::xcommit, .seq = final_ts, .a = xid});
+    return *this;
+  }
+  Hist& xdeliver(std::uint64_t xid, std::uint32_t mask, SeqNum seq) {
+    push({.kind = EventKind::xdeliver, .seq = seq, .msg_id = mask, .a = xid});
+    return *this;
+  }
   RingTrace take() {
     return RingTrace{"m" + std::to_string(member_), nullptr,
                      std::move(events_)};
@@ -65,6 +84,7 @@ class Hist {
                                  .kind = p.kind,
                                  .member = member_,
                                  .inc = 0,
+                                 .group = group_,
                                  .mkind = MessageKind::app,
                                  .flags = p.flags,
                                  .peer = p.peer,
@@ -73,6 +93,7 @@ class Hist {
                                  .a = p.a});
   }
   MemberId member_;
+  std::uint32_t group_{0};
   std::int64_t t_ns_{0};
   std::vector<TraceEvent> events_;
 };
@@ -247,6 +268,160 @@ TEST(Oracle, ViolationLimitTruncates) {
   const auto v = ConformanceOracle::check(rings, opts);
   EXPECT_EQ(v.violations.size(), 5u);
   EXPECT_TRUE(v.truncated);
+}
+
+// ---------------------------------------------------------------------------
+// Group scoping: one collector holding rings of several shards must not
+// alias their (inc, seq) / (sender, msg_id) coordinates.
+// ---------------------------------------------------------------------------
+
+TEST(Oracle, GroupTagScopesKeys) {
+  // Same (inc=0, seq=0) slot, different content — but different shards, so
+  // neither agreement nor stamps may fire.
+  Hist a(0), b(1);
+  a.in_group(0).stamp(0, 0, 1, 0xA).accept(0, 0, 1).deliver(0, 0, 1, 0xA);
+  b.in_group(1).stamp(0, 0, 1, 0xB).accept(0, 0, 1).deliver(0, 0, 1, 0xB);
+  std::vector<RingTrace> rings;
+  rings.push_back(a.take());
+  rings.push_back(b.take());
+  const auto v = ConformanceOracle::check(rings);
+  EXPECT_TRUE(v.ok()) << v.to_string();
+}
+
+TEST(Oracle, DurabilityScopedToRingGroups) {
+  // m0 (shard 0) completed a send ok; m1 participates only in shard 1, so
+  // listing it durable must not obligate it to hold shard 0's messages.
+  Hist a(0), b(1);
+  a.in_group(0).stamp(0, 0, 1).accept(0, 0, 1).deliver(0, 0, 1)
+      .send_done_ok(1);
+  b.in_group(1).stamp(0, 1, 1).accept(0, 1, 1).deliver(0, 1, 1);
+  std::vector<RingTrace> rings;
+  rings.push_back(a.take());
+  rings.push_back(b.take());
+  OracleOptions opts;
+  opts.durable_rings = {"m0", "m1"};
+  const auto v = ConformanceOracle::check(rings, opts);
+  EXPECT_TRUE(v.ok()) << v.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard obligations: a clean synthetic history passes, and each
+// seeded defect is flagged as exactly the right violation (the mutation
+// smoke test for the xshard checks).
+// ---------------------------------------------------------------------------
+
+/// Origin node ring (m9) plus one member ring per shard (m0 = shard 0,
+/// m1 = shard 1). Two cross-shard messages addressed to both shards,
+/// delivered in the same order everywhere.
+std::vector<RingTrace> xshard_history() {
+  const std::uint32_t mask = 0b11;
+  Hist n(9), s0(0), s1(1);
+  s0.in_group(0);
+  s1.in_group(1);
+  for (std::uint64_t x = 1; x <= 2; ++x) {
+    n.xsend(x, mask, 0);  // admitted
+    s0.xcommit(x, static_cast<SeqNum>(10 + x));
+    s1.xcommit(x, static_cast<SeqNum>(10 + x));
+    s0.xdeliver(x, mask, static_cast<SeqNum>(x));
+    s1.xdeliver(x, mask, static_cast<SeqNum>(x));
+    n.xsend(x, mask, 1);  // completed ok
+  }
+  std::vector<RingTrace> rings;
+  rings.push_back(n.take());
+  rings.push_back(s0.take());
+  rings.push_back(s1.take());
+  return rings;
+}
+
+TEST(Oracle, XShardCleanPasses) {
+  const auto v = ConformanceOracle::check(xshard_history());
+  EXPECT_TRUE(v.ok()) << v.to_string();
+}
+
+TEST(Oracle, XShardDuplicateDeliveryFlagged) {
+  auto rings = xshard_history();
+  // s0's events: xc1 xc2 xd1 xd2 (interleaved per message: xc1 xd1 xc2
+  // xd2); duplicate its last xdeliver.
+  rings[1].events.push_back(rings[1].events.back());
+  const auto v = ConformanceOracle::check(rings);
+  EXPECT_TRUE(has(v, "xshard-dup")) << v.to_string();
+}
+
+TEST(Oracle, XShardNonAddressedDeliveryFlagged) {
+  auto rings = xshard_history();
+  // A third shard delivers xid 1 even though its bit is not in the mask.
+  Hist s2(2);
+  s2.in_group(2).xdeliver(1, 0b11, 0);
+  rings.push_back(s2.take());
+  const auto v = ConformanceOracle::check(rings);
+  EXPECT_TRUE(has(v, "xshard-genuine")) << v.to_string();
+}
+
+TEST(Oracle, XShardForgedMaskFlagged) {
+  // The delivery's own mask claims shard 2 is addressed, but the origin
+  // never did — the admitted-mask cross-check catches the forgery.
+  auto rings = xshard_history();
+  Hist s2(2);
+  s2.in_group(2).xdeliver(1, 0b111, 0);
+  rings.push_back(s2.take());
+  const auto v = ConformanceOracle::check(rings);
+  EXPECT_TRUE(has(v, "xshard-genuine")) << v.to_string();
+}
+
+TEST(Oracle, XShardMissingDeliveryFlagged) {
+  auto rings = xshard_history();
+  // Shard 1 never delivers xid 2 although the origin reported ok.
+  auto& ev = rings[2].events;
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (ev[i].kind == EventKind::xdeliver && ev[i].a == 2) {
+      ev.erase(ev.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  const auto v = ConformanceOracle::check(rings);
+  EXPECT_TRUE(has(v, "xshard-atomic")) << v.to_string();
+}
+
+TEST(Oracle, XShardNoOkMeansNoAtomicObligation) {
+  // Without an ok completion the outcome is legally unknown: a partial
+  // delivery (origin crashed mid-round) is not an atomicity violation.
+  const std::uint32_t mask = 0b11;
+  Hist n(9), s0(0), s1(1);
+  n.xsend(7, mask, 0);  // admitted, never completed
+  s0.in_group(0).xcommit(7, 11).xdeliver(7, mask, 0);
+  std::vector<RingTrace> rings;
+  rings.push_back(n.take());
+  rings.push_back(s0.take());
+  rings.push_back(s1.take());
+  const auto v = ConformanceOracle::check(rings);
+  EXPECT_TRUE(v.ok()) << v.to_string();
+}
+
+TEST(Oracle, XShardCommitMismatchFlagged) {
+  auto rings = xshard_history();
+  // Shard 1 fixed a different final timestamp for xid 1.
+  for (TraceEvent& e : rings[2].events) {
+    if (e.kind == EventKind::xcommit && e.a == 1) e.seq = 99;
+  }
+  const auto v = ConformanceOracle::check(rings);
+  EXPECT_TRUE(has(v, "xshard-commit")) << v.to_string();
+}
+
+TEST(Oracle, XShardOrderInversionFlagged) {
+  auto rings = xshard_history();
+  // Shard 1 delivers xid 2 before xid 1 while shard 0 kept 1 before 2.
+  std::vector<TraceEvent>& ev = rings[2].events;
+  TraceEvent* d1 = nullptr;
+  TraceEvent* d2 = nullptr;
+  for (TraceEvent& e : ev) {
+    if (e.kind != EventKind::xdeliver) continue;
+    (e.a == 1 ? d1 : d2) = &e;
+  }
+  ASSERT_NE(d1, nullptr);
+  ASSERT_NE(d2, nullptr);
+  std::swap(d1->a, d2->a);
+  const auto v = ConformanceOracle::check(rings);
+  EXPECT_TRUE(has(v, "xshard-order")) << v.to_string();
 }
 
 // ---------------------------------------------------------------------------
