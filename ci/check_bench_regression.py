@@ -16,6 +16,12 @@ Usage:
     python3 ci/check_bench_regression.py \
         --baseline BENCH_micro.json --candidate build-rel/BENCH_micro.json
 
+    # Gate a different suite by naming its gated benchmarks explicitly
+    # (the UDP scale-out suite gates every BM_Udp* benchmark):
+    python3 ci/check_bench_regression.py \
+        --baseline BENCH_udp.json --candidate build-rel/BENCH_udp.json \
+        --gate-substrings BM_Udp
+
 Environment:
     AMOEBA_BENCH_TOLERANCE  allowed fractional slowdown (default 0.25).
         CI runners are noisy; the default only catches step-change
@@ -29,9 +35,10 @@ import json
 import os
 import sys
 
-# Benchmarks whose names contain one of these substrings gate the build:
+# Default gate: benchmarks whose names contain one of these substrings —
 # the encode/decode round trips whose flatness-across-sizes is the whole
-# point of the zero-copy path (see docs/PERF.md).
+# point of the zero-copy path (see docs/PERF.md). Override per-suite with
+# --gate-substrings.
 GATED_SUBSTRINGS = ("RoundTrip", "EncodeDecode")
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -64,7 +71,12 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True, help="committed JSON")
     ap.add_argument("--candidate", required=True, help="fresh run JSON")
+    ap.add_argument("--gate-substrings", default=",".join(GATED_SUBSTRINGS),
+                    help="comma-separated name substrings that gate the "
+                         "build (default: %(default)s)")
     args = ap.parse_args()
+    gate_substrings = tuple(
+        s for s in args.gate_substrings.split(",") if s)
 
     tolerance = float(os.environ.get("AMOEBA_BENCH_TOLERANCE", "0.25"))
 
@@ -81,7 +93,7 @@ def main():
           ("benchmark", "base (ns)", "new (ns)", "ratio", "verdict"))
     for name in common:
         ratio = cand[name] / base[name] if base[name] > 0 else float("inf")
-        gated = any(s in name for s in GATED_SUBSTRINGS)
+        gated = any(s in name for s in gate_substrings)
         regressed = gated and ratio > 1.0 + tolerance
         verdict = ("REGRESSED" if regressed else
                    ("ok" if gated else "info-only"))
@@ -95,15 +107,16 @@ def main():
         print("note: in baseline but not in this run: %s" % ", ".join(dropped))
 
     if failures:
-        print("\nFAIL: %d round-trip benchmark(s) slower than baseline "
+        print("\nFAIL: %d gated benchmark(s) slower than baseline "
               "by more than %.0f%%:" % (len(failures), tolerance * 100))
         for name, ratio in failures:
             print("  %s: %.2fx" % (name, ratio))
-        print("If the slowdown is intended, refresh the baseline:\n"
-              "  ./build-rel/bench/bench_micro  # rewrites BENCH_micro.json")
+        print("If the slowdown is intended, refresh the committed "
+              "baseline by re-running the bench (it rewrites its own "
+              "JSON, e.g. ./build-rel/bench/bench_micro).")
         return 1
 
-    print("\nOK: round-trip suites within %.0f%% of baseline "
+    print("\nOK: gated benchmarks within %.0f%% of baseline "
           "(%d benchmarks compared)" % (tolerance * 100, len(common)))
     return 0
 

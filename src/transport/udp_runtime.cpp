@@ -7,8 +7,11 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <net/if.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/ioctl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -19,6 +22,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "transport/uring_engine.hpp"
 
 namespace amoeba::transport {
 
@@ -44,42 +48,238 @@ constexpr unsigned kIoBatch = 32;
 constexpr int kTxSoftSpins = 8;
 constexpr int kTxPolls = 16;
 constexpr int kTxPollMs = 10;
-/// Pooled receive-slot size: max_payload (1400) + FLIP header + CRC with
-/// headroom; matches a pool size class so slots recycle via the freelist.
-constexpr std::size_t kRxSlotBytes = 2048;
+/// Largest payload a UDP datagram can carry at all (64 KiB IP minus
+/// IP + UDP headers); normalize() rejects anything beyond it.
+constexpr std::size_t kUdpHardMax = 65507;
+/// IP (20) + UDP (8) header bytes between payload size and wire size.
+constexpr std::size_t kIpUdpOverhead = 28;
+/// The reserved 239.192/16 group every station joins when kernel
+/// multicast comes up: the broadcast channel, and the construction-time
+/// probe that a join can succeed at all. group_ip_be() never maps a
+/// subscription key onto it.
+constexpr std::uint32_t kBroadcastGroupHost = 0xEFC0FFFFu;  // 239.192.255.255
+
+std::uint32_t broadcast_group_be() { return htonl(kBroadcastGroupHost); }
+
+void set_nonblock(int fd) { ::fcntl(fd, F_SETFL, O_NONBLOCK); }
 
 }  // namespace
 
-UdpRuntime::UdpRuntime(std::uint16_t port) {
-  epoch_ = steady_now();
-  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd_ < 0) throw std::runtime_error("UdpRuntime: socket() failed");
+Status UdpOptions::normalize() {
+  if (max_payload < 128 || max_payload > kUdpHardMax) return Status::bad_config;
+  if (tx_queue_hwm == 0 || rx_ring_capacity == 0 || rx_shards == 0) {
+    return Status::bad_config;
+  }
+  if (backend == UdpBackend::io_uring && rx_shards > 1) {
+    // Each scale-out layer is switched (and benchmarked) on its own axis;
+    // the uring engine drives exactly one socket.
+    return Status::bad_config;
+  }
+  if (kernel_multicast && mcast_ifaddr.empty()) return Status::bad_config;
+  // Over-small bounds clamp to sane floors instead of failing.
+  tx_queue_hwm = std::max<std::size_t>(tx_queue_hwm, 64);
+  rx_ring_capacity = std::max<std::size_t>(rx_ring_capacity, 64);
+  rx_shards = std::min(rx_shards, 16u);
+  return Status::ok;
+}
 
+UdpRuntime::UdpRuntime(std::uint16_t port) {
+  UdpOptions options;
+  options.port = port;
+  init(options);
+}
+
+UdpRuntime::UdpRuntime(const UdpOptions& options) { init(options); }
+
+void UdpRuntime::init(const UdpOptions& options) {
+  opts_ = options;
+  if (opts_.normalize() != Status::ok) {
+    throw std::invalid_argument("UdpRuntime: UdpOptions failed normalize()");
+  }
+  epoch_ = steady_now();
+  // Receive-slot size: payload + FLIP header + CRC headroom, never below
+  // the 2 KiB pool class the classic 1400-byte configuration recycles.
+  rx_slot_bytes_ = std::max<std::size_t>(2048, opts_.max_payload + 256);
+
+  auto fail = [this](const std::string& what) {
+    for (int fd : shard_fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+    shard_fds_.clear();
+    fd_ = -1;
+    if (mcast_fd_ >= 0) ::close(mcast_fd_);
+    if (wake_rd_ >= 0) ::close(wake_rd_);
+    if (wake_wr_ >= 0 && wake_wr_ != wake_rd_) ::close(wake_wr_);
+    throw std::runtime_error("UdpRuntime: " + what);
+  };
+
+  // Shard sockets all bind the same loopback port; shard_fds_[0] is also
+  // the TX socket. SO_REUSEPORT must be set before bind on every one.
+  shard_fds_.assign(opts_.rx_shards, -1);
+  for (unsigned i = 0; i < opts_.rx_shards; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) fail("socket() failed");
+    shard_fds_[i] = fd;
+    if (opts_.rx_shards > 1) {
+      const int one = 1;
+      if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+        fail("SO_REUSEPORT unsupported (rx_shards > 1 needs it)");
+      }
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(i == 0 ? opts_.port : local_port_);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      fail("bind() failed");
+    }
+    if (i == 0) {
+      socklen_t len = sizeof(addr);
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+      local_port_ = ntohs(addr.sin_port);
+      fd_ = fd;
+    }
+  }
+
+  // Validate max_payload against the bound interface's MTU (we bind
+  // loopback, whose MTU is typically 65536). If the query fails, the
+  // kUdpHardMax cap from normalize() already bounds us.
+  {
+    ifreq ifr{};
+    std::strncpy(ifr.ifr_name, "lo", IFNAMSIZ - 1);
+    if (::ioctl(fd_, SIOCGIFMTU, &ifr) == 0 &&
+        opts_.max_payload + kIpUdpOverhead >
+            static_cast<std::size_t>(ifr.ifr_mtu)) {
+      for (int fd : shard_fds_) ::close(fd);
+      shard_fds_.clear();
+      fd_ = -1;
+      throw std::invalid_argument(
+          "UdpRuntime: max_payload + IP/UDP overhead exceeds the interface "
+          "MTU");
+    }
+  }
+
+  // Wake channel: eventfd (one word, one fd) with a pipe fallback.
+  wake_rd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_rd_ >= 0) {
+    wake_wr_ = wake_rd_;
+    wake_is_eventfd_ = true;
+  } else {
+    int p[2];
+    if (::pipe(p) != 0) fail("eventfd() and pipe() both failed");
+    set_nonblock(p[0]);
+    set_nonblock(p[1]);
+    wake_rd_ = p[0];
+    wake_wr_ = p[1];
+  }
+
+  if (opts_.kernel_multicast) setup_multicast();
+
+  backend_ = UdpBackend::poll;
+  if (opts_.backend == UdpBackend::io_uring) {
+    std::string err;
+    uring_ = UringEngine::create(fd_, mcast_active_ ? mcast_fd_ : -1,
+                                 rx_slot_bytes_, &err);
+    if (uring_ != nullptr) {
+      backend_ = UdpBackend::io_uring;
+    } else {
+      log_warn("udp", "io_uring backend unavailable (%s); using poll",
+               err.c_str());
+    }
+  }
+
+  if (opts_.rx_shards > 1) {
+    for (unsigned i = 0; i < opts_.rx_shards; ++i) {
+      rx_rings_.push_back(
+          std::make_unique<SpscRing<RxFrame>>(opts_.rx_ring_capacity));
+    }
+  }
+}
+
+void UdpRuntime::setup_multicast() {
+  auto fallback = [this](const char* what) {
+    io_stats_.mcast_join_failures.fetch_add(1, std::memory_order_relaxed);
+    log_warn("udp",
+             "kernel multicast unavailable (%s, errno=%d); "
+             "falling back to unicast fan-out",
+             what, errno);
+    if (mcast_fd_ >= 0) ::close(mcast_fd_);
+    mcast_fd_ = -1;
+    mcast_port_ = 0;
+    mcast_active_ = false;
+  };
+
+  in_addr if_ia{};
+  if (::inet_pton(AF_INET, opts_.mcast_ifaddr.c_str(), &if_ia) != 1) {
+    errno = EINVAL;
+    return fallback("bad mcast_ifaddr");
+  }
+  mcast_if_be_ = if_ia.s_addr;
+
+  // Dedicated receive socket on the shared multicast port. Every station
+  // on the host binds the same port (SO_REUSEADDR/SO_REUSEPORT), and the
+  // kernel delivers each group datagram to ALL of them; subscription
+  // filtering is per-socket membership plus FLIP's address match.
+  mcast_fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (mcast_fd_ < 0) return fallback("socket() failed");
+  const int one = 1;
+  if (::setsockopt(mcast_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return fallback("SO_REUSEADDR failed");
+  }
+  ::setsockopt(mcast_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd_);
-    throw std::runtime_error("UdpRuntime: bind() failed");
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(opts_.mcast_port);
+  if (::bind(mcast_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fallback("bind(mcast_port) failed");
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  local_port_ = ntohs(addr.sin_port);
+  ::getsockname(mcast_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  mcast_port_ = ntohs(addr.sin_port);
 
-  if (::pipe(wake_pipe_) != 0) {
-    ::close(fd_);
-    throw std::runtime_error("UdpRuntime: pipe() failed");
+  // Egress setup on the TX socket: pin the interface and enable loopback
+  // delivery so single-host benches see their own group traffic.
+  ip_mreqn egress{};
+  egress.imr_address = if_ia;
+  if (::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_IF, &egress,
+                   sizeof(egress)) != 0) {
+    return fallback("IP_MULTICAST_IF failed");
   }
-  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
-  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+  const int loop_on = 1;
+  if (::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop_on,
+                   sizeof(loop_on)) != 0) {
+    return fallback("IP_MULTICAST_LOOP failed");
+  }
+
+  // Probe join: the permanent broadcast group. If this fails, every
+  // per-key join would too — fan-out fallback, per FLIP's position that
+  // hardware multicast is an optimization, not a requirement.
+  ip_mreqn join{};
+  join.imr_multiaddr.s_addr = broadcast_group_be();
+  join.imr_address = if_ia;
+  if (::setsockopt(mcast_fd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &join,
+                   sizeof(join)) != 0) {
+    return fallback("IP_ADD_MEMBERSHIP failed");
+  }
+  mcast_active_ = true;
 }
 
 UdpRuntime::~UdpRuntime() {
   stop();
-  if (fd_ >= 0) ::close(fd_);
-  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
-  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  uring_.reset();  // unmaps rings before the sockets close
+  for (int fd : shard_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (mcast_fd_ >= 0) ::close(mcast_fd_);
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0 && wake_wr_ != wake_rd_) ::close(wake_wr_);
+}
+
+bool UdpRuntime::io_uring_available() {
+  return UringEngine::runtime_supported();
 }
 
 void UdpRuntime::set_station_table(
@@ -109,17 +309,54 @@ void UdpRuntime::set_station_table(
 void UdpRuntime::start() {
   if (running_.exchange(true)) return;
   loop_thread_ = std::thread([this] { loop(); });
+  if (opts_.rx_shards > 1) {
+    for (unsigned i = 0; i < opts_.rx_shards; ++i) {
+      rx_threads_.emplace_back([this, i] { rx_shard_loop(i); });
+    }
+  }
 }
 
 void UdpRuntime::stop() {
   if (!running_.exchange(false)) return;
   wake();
   if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& t : rx_threads_) {
+    if (t.joinable()) t.join();
+  }
+  rx_threads_.clear();
 }
 
 void UdpRuntime::wake() {
-  const char b = 1;
-  [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &b, 1);
+  // Suppressor: while a wake is in flight (written but not yet drained by
+  // the loop), further wakes are free. The loop clears the flag after
+  // draining the fd and BEFORE re-checking the queues, so a post that
+  // slips in between either sees the flag still set (the loop will look)
+  // or writes a fresh wake.
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    io_stats_.wakes_suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  io_stats_.wakeups.fetch_add(1, std::memory_order_relaxed);
+  if (wake_is_eventfd_) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_wr_, &one, sizeof(one));
+  } else {
+    const char b = 1;
+    [[maybe_unused]] const auto n = ::write(wake_wr_, &b, 1);
+  }
+}
+
+void UdpRuntime::drain_wake_fd() {
+  if (wake_is_eventfd_) {
+    std::uint64_t v;
+    while (::read(wake_rd_, &v, sizeof(v)) > 0) {
+    }
+  } else {
+    char drain[64];
+    while (::read(wake_rd_, drain, sizeof(drain)) > 0) {
+    }
+  }
+  wake_pending_.store(false, std::memory_order_release);
 }
 
 Time UdpRuntime::now() const { return Time{(steady_now() - epoch_).ns}; }
@@ -150,13 +387,51 @@ void UdpRuntime::cancel_timer(TimerId id) {
 
 const sim::CostModel& UdpRuntime::costs() const { return zero_costs(); }
 
-void UdpRuntime::enqueue_tx(StationId dst, BufView payload) {
-  if (dst >= stations_.size()) return;
-  tx_queue_.push_back(PendingTx{dst, std::move(payload)});
+std::uint32_t UdpRuntime::group_ip_be(std::uint64_t mcast_key) {
+  // Fold the 64-bit key onto 239.192.x.y. Distinct keys may collide on one
+  // group; FLIP filters over-delivery by address match, so a collision
+  // costs bandwidth, never correctness.
+  std::uint32_t fold = static_cast<std::uint32_t>(
+      (mcast_key ^ (mcast_key >> 16) ^ (mcast_key >> 32) ^ (mcast_key >> 48)) &
+      0xFFFFu);
+  if (fold == 0xFFFFu) fold = 0xFFFEu;  // 239.192.255.255 = broadcast group
+  return htonl(0xEFC00000u | fold);
+}
+
+void UdpRuntime::enqueue_tx(Endpoint to, BufView payload, bool mcast) {
+  // Caller holds mu_ (Device sends are posted tasks / protocol handlers).
+  tx_queue_.push_back(PendingTx{to, std::move(payload), mcast});
+  if (tx_queue_.size() >= opts_.tx_queue_hwm) {
+    // Backpressure: flush inline, still under mu_, instead of letting a
+    // stalled flusher grow the queue without bound. The deliberate
+    // exception to "syscalls outside mu_" — bounded memory wins.
+    io_stats_.tx_queue_hwm_hits.fetch_add(1, std::memory_order_relaxed);
+    io_stats_.tx_backpressure_waits.fetch_add(1, std::memory_order_relaxed);
+    std::vector<PendingTx> batch;
+    batch.swap(tx_queue_);
+    flush_tx(batch);
+    return;
+  }
   wake();
 }
 
 void UdpRuntime::flush_tx(std::vector<PendingTx>& batch) {
+  if (batch.empty()) return;
+  if (backend_ == UdpBackend::io_uring && uring_ != nullptr) {
+    std::vector<UringEngine::TxFrame> frames;
+    frames.reserve(batch.size());
+    for (auto& tx : batch) {
+      frames.push_back(UringEngine::TxFrame{tx.to.ip_be, tx.to.port_be,
+                                            std::move(tx.payload), tx.mcast});
+    }
+    uring_->submit_tx(frames, io_stats_);
+    batch.clear();
+    return;
+  }
+  flush_tx_mmsg(batch);
+}
+
+void UdpRuntime::flush_tx_mmsg(std::vector<PendingTx>& batch) {
   std::array<mmsghdr, kIoBatch> msgs;
   std::array<iovec, kIoBatch> iovs;
   std::array<sockaddr_in, kIoBatch> addrs;
@@ -169,8 +444,8 @@ void UdpRuntime::flush_tx(std::vector<PendingTx>& batch) {
       sockaddr_in& addr = addrs[i];
       std::memset(&addr, 0, sizeof(addr));
       addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = stations_[tx.dst].ip_be;
-      addr.sin_port = stations_[tx.dst].port_be;
+      addr.sin_addr.s_addr = tx.to.ip_be;
+      addr.sin_port = tx.to.port_be;
       iovs[i].iov_base =
           const_cast<std::uint8_t*>(tx.payload.data());  // sendmsg ABI
       iovs[i].iov_len = tx.payload.size();
@@ -190,6 +465,12 @@ void UdpRuntime::flush_tx(std::vector<PendingTx>& batch) {
     while (sent < n) {
       const int rc = ::sendmmsg(fd_, msgs.data() + sent, n - sent, 0);
       if (rc > 0) {
+        for (unsigned i = sent; i < sent + static_cast<unsigned>(rc); ++i) {
+          if (batch[done + i].mcast) {
+            io_stats_.tx_mcast_datagrams.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          }
+        }
         sent += static_cast<unsigned>(rc);
         io_stats_.tx_datagrams.fetch_add(static_cast<std::uint64_t>(rc),
                                          std::memory_order_relaxed);
@@ -235,10 +516,22 @@ void UdpRuntime::send_unicast(StationId dst, BufView payload, std::size_t) {
     });
     return;
   }
-  enqueue_tx(dst, std::move(payload));
+  if (dst >= stations_.size()) return;
+  enqueue_tx(stations_[dst], std::move(payload), false);
 }
 
-void UdpRuntime::send_multicast(std::uint64_t, BufView payload, std::size_t) {
+void UdpRuntime::send_multicast(std::uint64_t mcast_key, BufView payload,
+                                std::size_t) {
+  if (mcast_active_) {
+    // One group datagram replaces the (N-1)-unicast fan-out below.
+    if (stations_.size() > 2) {
+      io_stats_.fanout_avoided.fetch_add(stations_.size() - 2,
+                                         std::memory_order_relaxed);
+    }
+    enqueue_tx(Endpoint{group_ip_be(mcast_key), htons(mcast_port_)},
+               std::move(payload), true);
+    return;
+  }
   // Fan-out unicast to every other station; FLIP semantics say multicast
   // reaches subscribers only, but subscription filtering happens in the
   // FLIP layer by address match, so over-delivery here is harmless. Each
@@ -246,16 +539,52 @@ void UdpRuntime::send_multicast(std::uint64_t, BufView payload, std::size_t) {
   // fan-out goes out in one sendmmsg batch.
   for (StationId s = 0; s < stations_.size(); ++s) {
     if (s == self_) continue;
-    enqueue_tx(s, payload);
+    enqueue_tx(stations_[s], BufView(payload), false);
   }
 }
 
 void UdpRuntime::send_broadcast(BufView payload, std::size_t wire_bytes) {
+  if (mcast_active_) {
+    if (stations_.size() > 2) {
+      io_stats_.fanout_avoided.fetch_add(stations_.size() - 2,
+                                         std::memory_order_relaxed);
+    }
+    enqueue_tx(Endpoint{broadcast_group_be(), htons(mcast_port_)},
+               std::move(payload), true);
+    return;
+  }
   send_multicast(0, std::move(payload), wire_bytes);
 }
 
-void UdpRuntime::subscribe(std::uint64_t) {}
-void UdpRuntime::unsubscribe(std::uint64_t) {}
+void UdpRuntime::subscribe(std::uint64_t mcast_key) {
+  if (!mcast_active_) return;  // fan-out delivers everything anyway
+  const std::uint32_t grp = group_ip_be(mcast_key);
+  std::lock_guard lock(mcast_mu_);
+  if (++mcast_refs_[grp] > 1) return;  // already a member via another key
+  ip_mreqn join{};
+  join.imr_multiaddr.s_addr = grp;
+  join.imr_address.s_addr = mcast_if_be_;
+  if (::setsockopt(mcast_fd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &join,
+                   sizeof(join)) != 0) {
+    io_stats_.mcast_join_failures.fetch_add(1, std::memory_order_relaxed);
+    log_warn("udp", "IP_ADD_MEMBERSHIP failed: errno=%d", errno);
+  }
+}
+
+void UdpRuntime::unsubscribe(std::uint64_t mcast_key) {
+  if (!mcast_active_) return;
+  const std::uint32_t grp = group_ip_be(mcast_key);
+  std::lock_guard lock(mcast_mu_);
+  const auto it = mcast_refs_.find(grp);
+  if (it == mcast_refs_.end()) return;
+  if (--it->second > 0) return;
+  mcast_refs_.erase(it);
+  ip_mreqn leave{};
+  leave.imr_multiaddr.s_addr = grp;
+  leave.imr_address.s_addr = mcast_if_be_;
+  ::setsockopt(mcast_fd_, IPPROTO_IP, IP_DROP_MEMBERSHIP, &leave,
+               sizeof(leave));
+}
 
 void UdpRuntime::set_receive_handler(
     std::function<void(StationId, BufView)> fn) {
@@ -263,15 +592,147 @@ void UdpRuntime::set_receive_handler(
   rx_ = std::move(fn);
 }
 
-void UdpRuntime::loop() {
-  // Receive ring: pooled slots refilled as datagrams are consumed. The
-  // handler keeps a view of the datagram; the slot's backing returns to
-  // the pool when the last view drops.
-  std::array<SharedBuffer, kIoBatch> slots;
+bool UdpRuntime::classify_source(std::uint32_t ip_be, std::uint16_t port_be,
+                                 StationId* src) {
+  const auto it = by_addr_.find({ip_be, port_be});
+  if (it == by_addr_.end()) {
+    io_stats_.rx_unknown_peer.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (it->second == self_) {
+    // Our own looped-back multicast (unicast-to-self short-circuits and
+    // never reaches a socket).
+    io_stats_.rx_self_dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *src = it->second;
+  return true;
+}
+
+template <typename Sink>
+void UdpRuntime::drain_socket_mmsg(int fd, bool is_mcast,
+                                   std::vector<SharedBuffer>& slots,
+                                   const Sink& sink) {
   std::array<mmsghdr, kIoBatch> msgs;
   std::array<iovec, kIoBatch> iovs;
   std::array<sockaddr_in, kIoBatch> froms;
-  for (auto& slot : slots) slot = SharedBuffer::allocate(kRxSlotBytes);
+  while (true) {
+    for (unsigned i = 0; i < kIoBatch; ++i) {
+      iovs[i].iov_base = slots[i].data();
+      iovs[i].iov_len = slots[i].capacity();
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_name = &froms[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int got =
+        ::recvmmsg(fd, msgs.data(), kIoBatch, MSG_DONTWAIT, nullptr);
+    if (got < 0 && errno == EINTR) {
+      // A signal mid-drain must not abandon the readable socket.
+      io_stats_.rx_eintr.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (got <= 0) break;
+    // Station lookup runs lock-free (the table is immutable after start);
+    // slots with a match become zero-copy views and are replaced by fresh
+    // pooled buffers.
+    for (std::size_t i = 0; i < static_cast<std::size_t>(got); ++i) {
+      io_stats_.rx_datagrams.fetch_add(1, std::memory_order_relaxed);
+      if (is_mcast) {
+        io_stats_.rx_mcast_datagrams.fetch_add(1, std::memory_order_relaxed);
+      }
+      if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+        io_stats_.rx_truncated.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      StationId src = kBroadcastStation;
+      if (!classify_source(froms[i].sin_addr.s_addr, froms[i].sin_port,
+                           &src)) {
+        continue;
+      }
+      SharedBuffer slot = std::move(slots[i]);
+      slot.resize(msgs[i].msg_len);
+      slots[i] = SharedBuffer::allocate(rx_slot_bytes_);
+      sink(src, BufView(std::move(slot)));
+    }
+    if (static_cast<unsigned>(got) < kIoBatch) break;
+  }
+}
+
+bool UdpRuntime::drain_rx_rings() {
+  // Single consumer: only the loop thread pops. Collect the frames first,
+  // then dispatch the whole harvest under ONE mu_ acquisition.
+  std::vector<RxFrame> frames;
+  for (auto& ring : rx_rings_) {
+    while (auto f = ring->try_pop()) frames.push_back(std::move(*f));
+  }
+  if (frames.empty()) return false;
+  std::unique_lock lock(mu_);
+  if (rx_) {
+    for (auto& f : frames) rx_(f.src, std::move(f.payload));
+  }
+  return true;
+}
+
+void UdpRuntime::rx_shard_loop(unsigned shard) {
+  // Producer side of rx_rings_[shard]: drain our socket (plus the mcast
+  // socket, on shard 0) and push frames. Touches NO protocol state and
+  // never takes mu_.
+  std::vector<SharedBuffer> slots(kIoBatch);
+  for (auto& s : slots) s = SharedBuffer::allocate(rx_slot_bytes_);
+  std::vector<SharedBuffer> mcast_slots;
+  const bool owns_mcast = (shard == 0 && mcast_active_);
+  if (owns_mcast) {
+    mcast_slots.resize(kIoBatch);
+    for (auto& s : mcast_slots) s = SharedBuffer::allocate(rx_slot_bytes_);
+  }
+  const int fd = shard_fds_[shard];
+  SpscRing<RxFrame>* ring = rx_rings_[shard].get();
+
+  while (running_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    int nfds = 0;
+    fds[nfds++] = {fd, POLLIN, 0};
+    if (owns_mcast) fds[nfds++] = {mcast_fd_, POLLIN, 0};
+    // Short timeout doubles as the shutdown check.
+    const int rc = ::poll(fds, static_cast<nfds_t>(nfds), 50);
+    if (rc <= 0) continue;
+    bool pushed = false;
+    const auto sink = [&](StationId src, BufView view) {
+      if (ring->try_push(RxFrame{src, std::move(view)})) {
+        pushed = true;
+      } else {
+        // Ring full: the consumer lags a whole ring behind. Observable
+        // overflow — drop and count; NACK/retry recovers.
+        io_stats_.rx_ring_drops.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    if ((fds[0].revents & POLLIN) != 0) {
+      drain_socket_mmsg(fd, /*is_mcast=*/false, slots, sink);
+    }
+    if (owns_mcast && (fds[1].revents & POLLIN) != 0) {
+      drain_socket_mmsg(mcast_fd_, /*is_mcast=*/true, mcast_slots, sink);
+    }
+    if (pushed) wake();
+  }
+}
+
+void UdpRuntime::loop() {
+  // Receive ring (single-socket path): pooled slots refilled as datagrams
+  // are consumed. The handler keeps a view of the datagram; the slot's
+  // backing returns to the pool when the last view drops.
+  const bool sharded = opts_.rx_shards > 1;
+  std::vector<SharedBuffer> slots;
+  std::vector<SharedBuffer> mcast_slots;
+  if (!sharded) {
+    slots.resize(kIoBatch);
+    for (auto& s : slots) s = SharedBuffer::allocate(rx_slot_bytes_);
+    if (mcast_active_) {
+      mcast_slots.resize(kIoBatch);
+      for (auto& s : mcast_slots) s = SharedBuffer::allocate(rx_slot_bytes_);
+    }
+  }
 
   std::vector<PendingTx> tx_batch;
   // Dispatch scratch: (station, datagram view) per received frame.
@@ -318,69 +779,91 @@ void UdpRuntime::loop() {
       flush_tx(tx_batch);
       continue;  // tasks may have been posted while unlocked; re-dispatch
     }
+    // Sharded path: harvest the RX rings before sleeping; a non-empty
+    // harvest may have posted tasks, so re-dispatch first.
+    if (sharded && drain_rx_rings()) continue;
 
-    pollfd fds[2];
-    fds[0] = {fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
-    const int rc = ::poll(fds, 2, timeout_ms);
-    if (rc < 0) continue;
-    if (fds[1].revents & POLLIN) {
-      char drain[64];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+    pollfd fds[3];
+    int nfds = 0;
+    int data_idx = -1;
+    int mcast_idx = -1;
+    if (!sharded) {
+      if (backend_ == UdpBackend::io_uring) {
+        // The ring fd polls readable whenever completions are pending
+        // (both TX retirements and multishot receives).
+        data_idx = nfds;
+        fds[nfds++] = {uring_->ring_fd(), POLLIN, 0};
+      } else {
+        data_idx = nfds;
+        fds[nfds++] = {fd_, POLLIN, 0};
+        if (mcast_active_) {
+          mcast_idx = nfds;
+          fds[nfds++] = {mcast_fd_, POLLIN, 0};
+        }
       }
     }
-    if (fds[0].revents & POLLIN) {
-      while (true) {
-        for (unsigned i = 0; i < kIoBatch; ++i) {
-          iovs[i].iov_base = slots[i].data();
-          iovs[i].iov_len = slots[i].capacity();
-          std::memset(&msgs[i], 0, sizeof(msgs[i]));
-          msgs[i].msg_hdr.msg_name = &froms[i];
-          msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
-          msgs[i].msg_hdr.msg_iov = &iovs[i];
-          msgs[i].msg_hdr.msg_iovlen = 1;
-        }
-        const int got =
-            ::recvmmsg(fd_, msgs.data(), kIoBatch, MSG_DONTWAIT, nullptr);
-        if (got < 0 && errno == EINTR) {
-          // A signal mid-drain must not abandon the readable socket.
-          io_stats_.rx_eintr.fetch_add(1, std::memory_order_relaxed);
-          continue;
-        }
-        if (got <= 0) break;
-        // Station lookup runs lock-free (the table is immutable after
-        // start); slots with a match become zero-copy views and are
-        // replaced by fresh pooled buffers.
-        rx_batch.clear();
-        for (std::size_t i = 0; i < static_cast<std::size_t>(got); ++i) {
-          io_stats_.rx_datagrams.fetch_add(1, std::memory_order_relaxed);
-          if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
-            io_stats_.rx_truncated.fetch_add(1, std::memory_order_relaxed);
-            continue;
-          }
-          const sockaddr_in& from = froms[i];
-          const auto it =
-              by_addr_.find({from.sin_addr.s_addr, from.sin_port});
-          if (it == by_addr_.end()) {
-            io_stats_.rx_unknown_peer.fetch_add(1, std::memory_order_relaxed);
-            continue;
-          }
-          SharedBuffer slot = std::move(slots[i]);
-          slot.resize(msgs[i].msg_len);
-          slots[i] = SharedBuffer::allocate(kRxSlotBytes);
-          rx_batch.emplace_back(it->second, BufView(std::move(slot)));
-        }
-        // One mu_ acquisition dispatches the whole batch.
-        if (!rx_batch.empty()) {
-          std::unique_lock lock(mu_);
-          if (rx_) {
-            for (auto& [station, view] : rx_batch) {
-              rx_(station, std::move(view));
+    const int wake_idx = nfds;
+    fds[nfds++] = {wake_rd_, POLLIN, 0};
+
+    const int rc = ::poll(fds, static_cast<nfds_t>(nfds), timeout_ms);
+    if (rc < 0) continue;
+    const bool woke = (fds[wake_idx].revents & POLLIN) != 0;
+    if (woke) drain_wake_fd();
+
+    bool did_rx = false;
+    if (!sharded) {
+      rx_batch.clear();
+      const auto collect = [&](StationId src, BufView view) {
+        rx_batch.emplace_back(src, std::move(view));
+      };
+      if (backend_ == UdpBackend::io_uring) {
+        if (data_idx >= 0 && (fds[data_idx].revents & POLLIN) != 0) {
+          uring_->drain(io_stats_, [&](UringEngine::RxDatagram&& d) {
+            io_stats_.rx_datagrams.fetch_add(1, std::memory_order_relaxed);
+            if (d.from_mcast) {
+              io_stats_.rx_mcast_datagrams.fetch_add(
+                  1, std::memory_order_relaxed);
             }
-          }
-          rx_batch.clear();
+            if (d.truncated) {
+              io_stats_.rx_truncated.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+            StationId src = kBroadcastStation;
+            if (!classify_source(d.src_ip_be, d.src_port_be, &src)) return;
+            rx_batch.emplace_back(src, std::move(d.payload));
+          });
         }
-        if (static_cast<unsigned>(got) < kIoBatch) break;
+      } else {
+        if (data_idx >= 0 && (fds[data_idx].revents & POLLIN) != 0) {
+          drain_socket_mmsg(fd_, /*is_mcast=*/false, slots, collect);
+        }
+        if (mcast_idx >= 0 && (fds[mcast_idx].revents & POLLIN) != 0) {
+          drain_socket_mmsg(mcast_fd_, /*is_mcast=*/true, mcast_slots,
+                            collect);
+        }
+      }
+      // One mu_ acquisition dispatches the whole batch.
+      if (!rx_batch.empty()) {
+        did_rx = true;
+        std::unique_lock lock(mu_);
+        if (rx_) {
+          for (auto& [station, view] : rx_batch) {
+            rx_(station, std::move(view));
+          }
+        }
+        rx_batch.clear();
+      }
+    } else {
+      did_rx = drain_rx_rings();
+    }
+
+    if (woke && !did_rx) {
+      // A wake with nothing behind it (the work was already harvested by a
+      // previous pass, or this is the shutdown kick) is spurious.
+      std::lock_guard lock(mu_);
+      if (tasks_.empty() && tx_queue_.empty() &&
+          (timers_.empty() || timers_.top().at > now())) {
+        io_stats_.wake_spurious.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }

@@ -1,0 +1,524 @@
+#include "transport/uring_engine.hpp"
+
+#if defined(AMOEBA_HAVE_IO_URING) && AMOEBA_HAVE_IO_URING
+
+#include <linux/io_uring.h>
+#include <netinet/in.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace amoeba::transport {
+
+namespace {
+
+// No liburing in the build environment: raw syscalls + hand-mapped rings.
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+int sys_io_uring_register(int fd, unsigned op, void* arg, unsigned nr) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, op, arg, nr));
+}
+
+constexpr unsigned kSqEntries = 256;
+constexpr unsigned kCqEntries = 4096;
+/// Provided-buffer ring entries (power of two, required by the kernel).
+constexpr unsigned kRxBufs = 1024;
+constexpr std::uint16_t kBufGroup = 7;
+/// In-flight SENDMSG slab: bounds TX memory pinned by the kernel.
+constexpr unsigned kTxSlabs = 1024;
+constexpr int kTxRetries = 8;
+
+// user_data tags (top two bits select the kind, low bits the slab index).
+constexpr std::uint64_t kTagMask = 3ull << 62;
+constexpr std::uint64_t kTxTag = 1ull << 62;
+constexpr std::uint64_t kRxDataTag = 2ull << 62;
+constexpr std::uint64_t kRxMcastTag = 3ull << 62;
+
+}  // namespace
+
+struct UringEngine::Impl {
+  int ring_fd{-1};
+  int data_fd{-1};
+  int mcast_fd{-1};
+  std::size_t slot_bytes{0};
+
+  // Submission ring (kernel-shared). sq_local_tail shadows *sq_tail.
+  void* sq_ring{MAP_FAILED};
+  std::size_t sq_ring_sz{0};
+  void* cq_ring{MAP_FAILED};
+  std::size_t cq_ring_sz{0};
+  io_uring_sqe* sqes{nullptr};
+  std::size_t sqes_sz{0};
+  unsigned* sq_head{nullptr};
+  unsigned* sq_tail{nullptr};
+  unsigned sq_mask{0};
+  unsigned sq_entries{0};
+  unsigned* sq_array{nullptr};
+  unsigned sq_local_tail{0};
+  unsigned to_submit{0};
+  // Completion ring.
+  unsigned* cq_head{nullptr};
+  unsigned* cq_tail{nullptr};
+  unsigned cq_mask{0};
+  io_uring_cqe* cqes{nullptr};
+
+  // Registered provided-buffer ring + the pooled slots it points into.
+  //
+  // Addressed through a raw io_uring_buf* rather than io_uring_buf_ring:
+  // the uapi __DECLARE_FLEX_ARRAY wraps bufs[] in a struct whose empty
+  // first member has size 1 under C++, shifting the flexible array to
+  // offset 8 — the kernel reads entries at offset 0 and the tail (which
+  // overlays entry 0's resv field, offset 14) would land inside entry
+  // 0's addr. Entry layout itself is identical in C and C++.
+  void* buf_ring{MAP_FAILED};
+  std::size_t buf_ring_sz{0};
+  std::vector<SharedBuffer> rx_slots;
+  unsigned buf_tail{0};
+
+  io_uring_buf* buf_entries() {
+    return static_cast<io_uring_buf*>(buf_ring);
+  }
+  std::uint16_t* buf_tail_ptr() { return &buf_entries()[0].resv; }
+
+  // Persistent msghdrs for the multishot receives (the kernel reads them
+  // on every completion; they must outlive the armed SQE).
+  msghdr rx_msg_data{};
+  msghdr rx_msg_mcast{};
+  bool data_armed{false};
+  bool mcast_armed{false};
+
+  struct TxSlab {
+    msghdr mh{};
+    iovec iov{};
+    sockaddr_in addr{};
+    BufView payload;
+    bool mcast{false};
+    int retries{0};
+  };
+  std::vector<TxSlab> tx_slabs;
+  std::vector<unsigned> tx_free;
+
+  ~Impl() {
+    if (buf_ring != MAP_FAILED) ::munmap(buf_ring, buf_ring_sz);
+    if (sqes != nullptr) ::munmap(sqes, sqes_sz);
+    if (cq_ring != MAP_FAILED && cq_ring != sq_ring) {
+      ::munmap(cq_ring, cq_ring_sz);
+    }
+    if (sq_ring != MAP_FAILED) ::munmap(sq_ring, sq_ring_sz);
+    if (ring_fd >= 0) ::close(ring_fd);
+  }
+
+  io_uring_sqe* get_sqe() {
+    const unsigned head = __atomic_load_n(sq_head, __ATOMIC_ACQUIRE);
+    if (sq_local_tail - head >= sq_entries) return nullptr;  // SQ full
+    const unsigned i = sq_local_tail & sq_mask;
+    io_uring_sqe* e = &sqes[i];
+    std::memset(e, 0, sizeof(*e));
+    sq_array[i] = i;
+    ++sq_local_tail;
+    // The kernel only reads entries below the tail at io_uring_enter, so
+    // publishing before the SQE is filled is safe (no SQPOLL).
+    __atomic_store_n(sq_tail, sq_local_tail, __ATOMIC_RELEASE);
+    ++to_submit;
+    return e;
+  }
+
+  void flush_submissions() {
+    while (to_submit > 0) {
+      const int rc = sys_io_uring_enter(ring_fd, to_submit, 0, 0);
+      if (rc >= 0) {
+        to_submit -= std::min(to_submit, static_cast<unsigned>(rc));
+        continue;
+      }
+      if (errno == EINTR) continue;
+      // EAGAIN/EBUSY: CQ backpressure — the pending SQEs stay queued and
+      // go out with the next flush, after drain() frees CQ space.
+      break;
+    }
+  }
+
+  /// Hand slot `bid` (back) to the kernel through the buffer ring.
+  void provide_buf(unsigned bid) {
+    io_uring_buf* b = &buf_entries()[buf_tail & (kRxBufs - 1)];
+    b->addr = reinterpret_cast<std::uint64_t>(rx_slots[bid].data());
+    b->len = static_cast<std::uint32_t>(rx_slots[bid].capacity());
+    b->bid = static_cast<std::uint16_t>(bid);
+    ++buf_tail;
+    __atomic_store_n(buf_tail_ptr(), static_cast<std::uint16_t>(buf_tail),
+                     __ATOMIC_RELEASE);
+  }
+
+  void arm_recv(int fd, msghdr* mh, std::uint64_t tag, bool* armed) {
+    io_uring_sqe* e = get_sqe();
+    if (e == nullptr) return;  // SQ full; drain() re-tries next pass
+    e->opcode = IORING_OP_RECVMSG;
+    e->fd = fd;
+    e->addr = reinterpret_cast<std::uint64_t>(mh);
+    e->ioprio = IORING_RECV_MULTISHOT;
+    e->flags = IOSQE_BUFFER_SELECT;
+    e->buf_group = kBufGroup;
+    e->user_data = tag;
+    *armed = true;
+  }
+
+  void prep_send(io_uring_sqe* e, unsigned idx, TxFrame&& f) {
+    TxSlab& s = tx_slabs[idx];
+    std::memset(&s.addr, 0, sizeof(s.addr));
+    s.addr.sin_family = AF_INET;
+    s.addr.sin_addr.s_addr = f.ip_be;
+    s.addr.sin_port = f.port_be;
+    s.payload = std::move(f.payload);
+    s.mcast = f.mcast;
+    s.retries = 0;
+    s.iov.iov_base = const_cast<std::uint8_t*>(s.payload.data());
+    s.iov.iov_len = s.payload.size();
+    std::memset(&s.mh, 0, sizeof(s.mh));
+    s.mh.msg_name = &s.addr;
+    s.mh.msg_namelen = sizeof(s.addr);
+    s.mh.msg_iov = &s.iov;
+    s.mh.msg_iovlen = 1;
+    prep_send_sqe(e, idx);
+  }
+
+  void prep_send_sqe(io_uring_sqe* e, unsigned idx) {
+    e->opcode = IORING_OP_SENDMSG;
+    e->fd = data_fd;
+    e->addr = reinterpret_cast<std::uint64_t>(&tx_slabs[idx].mh);
+    e->user_data = kTxTag | idx;
+  }
+
+  void release_slab(unsigned idx) {
+    tx_slabs[idx].payload = BufView{};
+    tx_free.push_back(idx);
+  }
+
+  /// SQ or slab exhausted: the frame goes out synchronously. Never drop
+  /// silently on the fast path.
+  void send_inline(const TxFrame& f, UdpIoStats& stats) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = f.ip_be;
+    addr.sin_port = f.port_be;
+    iovec iov{const_cast<std::uint8_t*>(f.payload.data()), f.payload.size()};
+    msghdr mh{};
+    mh.msg_name = &addr;
+    mh.msg_namelen = sizeof(addr);
+    mh.msg_iov = &iov;
+    mh.msg_iovlen = 1;
+    for (int spin = 0; spin <= kTxRetries; ++spin) {
+      if (::sendmsg(data_fd, &mh, 0) >= 0) {
+        stats.tx_datagrams.fetch_add(1, std::memory_order_relaxed);
+        if (f.mcast) {
+          stats.tx_mcast_datagrams.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+      }
+      if (errno == EINTR) {
+        stats.tx_eintr.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+        stats.tx_soft_errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      break;
+    }
+    stats.tx_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void handle_tx_cqe(const io_uring_cqe* c, UdpIoStats& stats) {
+    const auto idx = static_cast<unsigned>(c->user_data & ~kTagMask);
+    TxSlab& s = tx_slabs[idx];
+    if (c->res >= 0) {
+      stats.tx_datagrams.fetch_add(1, std::memory_order_relaxed);
+      if (s.mcast) {
+        stats.tx_mcast_datagrams.fetch_add(1, std::memory_order_relaxed);
+      }
+      release_slab(idx);
+      return;
+    }
+    if ((c->res == -EAGAIN || c->res == -ENOBUFS) &&
+        s.retries++ < kTxRetries) {
+      stats.tx_soft_errors.fetch_add(1, std::memory_order_relaxed);
+      if (io_uring_sqe* e = get_sqe()) {
+        prep_send_sqe(e, idx);  // payload still pinned in the slab
+        return;
+      }
+    }
+    stats.tx_dropped.fetch_add(1, std::memory_order_relaxed);
+    release_slab(idx);
+  }
+
+  void handle_rx_cqe(const io_uring_cqe* c, const RxSink& sink) {
+    const bool from_mcast = (c->user_data & kTagMask) == kRxMcastTag;
+    if ((c->flags & IORING_CQE_F_MORE) == 0) {
+      // The multishot terminated (error, or buffers ran dry); re-armed in
+      // drain() after buffers have been recycled.
+      if (from_mcast) {
+        mcast_armed = false;
+      } else {
+        data_armed = false;
+      }
+    }
+    if (c->res < 0) return;  // e.g. -ENOBUFS; the re-arm recovers
+    if ((c->flags & IORING_CQE_F_BUFFER) == 0) return;
+    const unsigned bid = c->flags >> IORING_CQE_BUFFER_SHIFT;
+
+    // Parse the io_uring_recvmsg_out layout the kernel wrote into the
+    // provided buffer: header, then msg_namelen bytes of source address,
+    // then (controllen = 0) the payload.
+    const std::uint8_t* base = rx_slots[bid].data();
+    const auto* out = reinterpret_cast<const io_uring_recvmsg_out*>(base);
+    const std::size_t hdr =
+        sizeof(io_uring_recvmsg_out) + sizeof(sockaddr_in);
+    const auto used = static_cast<std::size_t>(c->res);
+
+    RxDatagram d;
+    d.from_mcast = from_mcast;
+    if (used >= hdr) {
+      if (out->namelen >= sizeof(sockaddr_in)) {
+        sockaddr_in src{};
+        std::memcpy(&src, base + sizeof(io_uring_recvmsg_out), sizeof(src));
+        d.src_ip_be = src.sin_addr.s_addr;
+        d.src_port_be = src.sin_port;
+      }
+      d.truncated = (out->flags & MSG_TRUNC) != 0;
+      const std::size_t take =
+          std::min<std::size_t>(out->payloadlen, used - hdr);
+      SharedBuffer slot = std::move(rx_slots[bid]);
+      slot.resize(hdr + take);
+      d.payload = BufView(std::move(slot)).subview(hdr, take);
+    } else {
+      d.truncated = true;
+    }
+    // Recycle: fresh pooled slot under the same bid, re-provided.
+    if (rx_slots[bid].data() == nullptr) {
+      rx_slots[bid] = SharedBuffer::allocate(slot_bytes);
+    }
+    provide_buf(bid);
+    sink(std::move(d));
+  }
+};
+
+UringEngine::UringEngine(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+UringEngine::~UringEngine() = default;
+
+int UringEngine::ring_fd() const { return impl_->ring_fd; }
+
+bool UringEngine::runtime_supported() {
+  static const bool ok = [] {
+    io_uring_params p{};
+    const int fd = sys_io_uring_setup(2, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return ok;
+}
+
+std::unique_ptr<UringEngine> UringEngine::create(int data_fd, int mcast_fd,
+                                                 std::size_t slot_bytes,
+                                                 std::string* error) {
+  auto set_err = [error](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": errno=" + std::to_string(errno);
+    }
+  };
+  auto impl = std::make_unique<Impl>();
+  impl->data_fd = data_fd;
+  impl->mcast_fd = mcast_fd;
+  impl->slot_bytes = slot_bytes;
+
+  io_uring_params p{};
+  p.flags = IORING_SETUP_CQSIZE;
+  p.cq_entries = kCqEntries;
+  impl->ring_fd = sys_io_uring_setup(kSqEntries, &p);
+  if (impl->ring_fd < 0) {
+    set_err("io_uring_setup failed");
+    return nullptr;
+  }
+
+  impl->sq_ring_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  impl->cq_ring_sz = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+    impl->sq_ring_sz = impl->cq_ring_sz =
+        std::max(impl->sq_ring_sz, impl->cq_ring_sz);
+  }
+  impl->sq_ring =
+      ::mmap(nullptr, impl->sq_ring_sz, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, impl->ring_fd, IORING_OFF_SQ_RING);
+  if (impl->sq_ring == MAP_FAILED) {
+    set_err("mmap(SQ ring) failed");
+    return nullptr;
+  }
+  if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+    impl->cq_ring = impl->sq_ring;
+  } else {
+    impl->cq_ring =
+        ::mmap(nullptr, impl->cq_ring_sz, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, impl->ring_fd, IORING_OFF_CQ_RING);
+    if (impl->cq_ring == MAP_FAILED) {
+      set_err("mmap(CQ ring) failed");
+      return nullptr;
+    }
+  }
+  impl->sqes_sz = p.sq_entries * sizeof(io_uring_sqe);
+  impl->sqes = static_cast<io_uring_sqe*>(
+      ::mmap(nullptr, impl->sqes_sz, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, impl->ring_fd, IORING_OFF_SQES));
+  if (impl->sqes == MAP_FAILED) {
+    impl->sqes = nullptr;
+    set_err("mmap(SQEs) failed");
+    return nullptr;
+  }
+
+  auto* sq_base = static_cast<std::uint8_t*>(impl->sq_ring);
+  impl->sq_head = reinterpret_cast<unsigned*>(sq_base + p.sq_off.head);
+  impl->sq_tail = reinterpret_cast<unsigned*>(sq_base + p.sq_off.tail);
+  impl->sq_mask =
+      *reinterpret_cast<unsigned*>(sq_base + p.sq_off.ring_mask);
+  impl->sq_entries =
+      *reinterpret_cast<unsigned*>(sq_base + p.sq_off.ring_entries);
+  impl->sq_array = reinterpret_cast<unsigned*>(sq_base + p.sq_off.array);
+  impl->sq_local_tail = *impl->sq_tail;
+  auto* cq_base = static_cast<std::uint8_t*>(impl->cq_ring);
+  impl->cq_head = reinterpret_cast<unsigned*>(cq_base + p.cq_off.head);
+  impl->cq_tail = reinterpret_cast<unsigned*>(cq_base + p.cq_off.tail);
+  impl->cq_mask =
+      *reinterpret_cast<unsigned*>(cq_base + p.cq_off.ring_mask);
+  impl->cqes = reinterpret_cast<io_uring_cqe*>(cq_base + p.cq_off.cqes);
+
+  // Registered provided-buffer ring, refilled from the SharedBuffer pool.
+  impl->buf_ring_sz = kRxBufs * sizeof(io_uring_buf);
+  impl->buf_ring =
+      ::mmap(nullptr, impl->buf_ring_sz, PROT_READ | PROT_WRITE,
+             MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (impl->buf_ring == MAP_FAILED) {
+    set_err("mmap(buffer ring) failed");
+    return nullptr;
+  }
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(impl->buf_ring);
+  reg.ring_entries = kRxBufs;
+  reg.bgid = kBufGroup;
+  if (sys_io_uring_register(impl->ring_fd, IORING_REGISTER_PBUF_RING, &reg,
+                            1) < 0) {
+    set_err("IORING_REGISTER_PBUF_RING unsupported");
+    return nullptr;
+  }
+  *impl->buf_tail_ptr() = 0;
+  impl->rx_slots.resize(kRxBufs);
+  for (unsigned bid = 0; bid < kRxBufs; ++bid) {
+    impl->rx_slots[bid] = SharedBuffer::allocate(slot_bytes);
+    impl->provide_buf(bid);
+  }
+
+  impl->tx_slabs.resize(kTxSlabs);
+  impl->tx_free.reserve(kTxSlabs);
+  for (unsigned i = kTxSlabs; i > 0; --i) impl->tx_free.push_back(i - 1);
+
+  // Multishot receives: the kernel re-reads these msghdrs per completion,
+  // reserving msg_namelen bytes of each picked buffer for the source.
+  impl->rx_msg_data.msg_namelen = sizeof(sockaddr_in);
+  impl->rx_msg_mcast.msg_namelen = sizeof(sockaddr_in);
+  impl->arm_recv(data_fd, &impl->rx_msg_data, kRxDataTag, &impl->data_armed);
+  if (mcast_fd >= 0) {
+    impl->arm_recv(mcast_fd, &impl->rx_msg_mcast, kRxMcastTag,
+                   &impl->mcast_armed);
+  }
+  impl->flush_submissions();
+  if (!impl->data_armed || impl->to_submit != 0) {
+    set_err("arming multishot recvmsg failed");
+    return nullptr;
+  }
+  return std::unique_ptr<UringEngine>(new UringEngine(std::move(impl)));
+}
+
+void UringEngine::submit_tx(std::vector<TxFrame>& frames, UdpIoStats& stats) {
+  bool any = false;
+  for (auto& f : frames) {
+    io_uring_sqe* e = nullptr;
+    if (!impl_->tx_free.empty()) e = impl_->get_sqe();
+    if (e == nullptr) {
+      impl_->send_inline(f, stats);
+      continue;
+    }
+    const unsigned idx = impl_->tx_free.back();
+    impl_->tx_free.pop_back();
+    impl_->prep_send(e, idx, std::move(f));
+    any = true;
+  }
+  if (any) stats.tx_batches.fetch_add(1, std::memory_order_relaxed);
+  impl_->flush_submissions();
+  frames.clear();
+}
+
+void UringEngine::drain(UdpIoStats& stats, const RxSink& sink) {
+  Impl& im = *impl_;
+  unsigned head = *im.cq_head;
+  for (;;) {
+    const unsigned tail = __atomic_load_n(im.cq_tail, __ATOMIC_ACQUIRE);
+    if (head == tail) break;
+    while (head != tail) {
+      const io_uring_cqe* c = &im.cqes[head & im.cq_mask];
+      if ((c->user_data & kTagMask) == kTxTag) {
+        im.handle_tx_cqe(c, stats);
+      } else {
+        im.handle_rx_cqe(c, sink);
+      }
+      ++head;
+    }
+    __atomic_store_n(im.cq_head, head, __ATOMIC_RELEASE);
+  }
+  if (!im.data_armed) {
+    im.arm_recv(im.data_fd, &im.rx_msg_data, kRxDataTag, &im.data_armed);
+  }
+  if (im.mcast_fd >= 0 && !im.mcast_armed) {
+    im.arm_recv(im.mcast_fd, &im.rx_msg_mcast, kRxMcastTag, &im.mcast_armed);
+  }
+  im.flush_submissions();
+}
+
+}  // namespace amoeba::transport
+
+#else  // !AMOEBA_HAVE_IO_URING
+
+namespace amoeba::transport {
+
+struct UringEngine::Impl {};
+
+UringEngine::UringEngine(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+UringEngine::~UringEngine() = default;
+
+bool UringEngine::runtime_supported() { return false; }
+
+std::unique_ptr<UringEngine> UringEngine::create(int, int, std::size_t,
+                                                 std::string* error) {
+  if (error != nullptr) {
+    *error = "built without io_uring support (AMOEBA_IO_URING=OFF)";
+  }
+  return nullptr;
+}
+
+int UringEngine::ring_fd() const { return -1; }
+void UringEngine::submit_tx(std::vector<TxFrame>&, UdpIoStats&) {}
+void UringEngine::drain(UdpIoStats&, const RxSink&) {}
+
+}  // namespace amoeba::transport
+
+#endif  // AMOEBA_HAVE_IO_URING

@@ -1,0 +1,87 @@
+// io_uring syscall engine for UdpRuntime (scale-out layer 3).
+//
+// Implements the same submit/flush surface as the sendmmsg/recvmmsg path:
+// outbound frames become batched SENDMSG submissions (one io_uring_enter
+// per flush, not one syscall per datagram), and receive runs as multishot
+// RECVMSG — armed once per socket, the kernel keeps posting completions,
+// each picking a buffer from a registered provided-buffer ring refilled
+// from the SharedBuffer pool. The ring fd itself is pollable (readable
+// whenever completions are pending), so it drops into the runtime's
+// existing poll loop next to the wake fd.
+//
+// Built only when the AMOEBA_IO_URING CMake option finds the kernel
+// headers it needs (multishot recvmsg + provided buffer rings, Linux
+// 6.0+); otherwise this header still compiles and `create` returns
+// nullptr so the runtime falls back to the poll backend. No liburing —
+// raw syscalls and mmap'd rings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "transport/udp_runtime.hpp"
+
+namespace amoeba::transport {
+
+class UringEngine {
+ public:
+  /// One outbound datagram: resolved destination + a view pinning the
+  /// frame bytes until the kernel retires the SENDMSG.
+  struct TxFrame {
+    std::uint32_t ip_be{0};
+    std::uint16_t port_be{0};
+    BufView payload;
+    bool mcast{false};
+  };
+
+  /// One completed multishot receive, parsed out of its provided buffer.
+  /// `payload` is a zero-copy view into the pooled slot the kernel wrote.
+  struct RxDatagram {
+    std::uint32_t src_ip_be{0};
+    std::uint16_t src_port_be{0};
+    bool from_mcast{false};
+    bool truncated{false};
+    BufView payload;
+  };
+  using RxSink = std::function<void(RxDatagram&&)>;
+
+  /// True when this build carries the engine AND the running kernel
+  /// accepts io_uring_setup (probed once per process).
+  static bool runtime_supported();
+
+  /// Set up rings, register the buffer ring, and arm multishot receives
+  /// on `data_fd` (and `mcast_fd` when >= 0). Returns nullptr with
+  /// `*error` set on any failure; the caller falls back to poll.
+  static std::unique_ptr<UringEngine> create(int data_fd, int mcast_fd,
+                                             std::size_t slot_bytes,
+                                             std::string* error);
+  ~UringEngine();
+  UringEngine(const UringEngine&) = delete;
+  UringEngine& operator=(const UringEngine&) = delete;
+
+  /// The ring fd: poll it for POLLIN instead of the data socket.
+  int ring_fd() const;
+
+  /// Queue one SENDMSG per frame and submit the batch with a single
+  /// io_uring_enter. When the submission queue or the in-flight slab is
+  /// exhausted, the overflow goes out inline via sendmsg(2) — frames are
+  /// never silently dropped here. Consumes (clears) `frames`.
+  void submit_tx(std::vector<TxFrame>& frames, UdpIoStats& stats);
+
+  /// Drain the completion queue: retire TX slabs (counting into `stats`),
+  /// hand each received datagram to `sink`, recycle and re-provide
+  /// buffers, and re-arm any multishot the kernel terminated.
+  void drain(UdpIoStats& stats, const RxSink& sink);
+
+ private:
+  struct Impl;
+  explicit UringEngine(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace amoeba::transport

@@ -24,7 +24,8 @@ namespace amoeba::group {
 namespace {
 
 /// One OS-process-worth of stack, with the fault interposer between the
-/// FLIP stack and the UDP device.
+/// FLIP stack and the UDP device. `rx_shards > 1` runs the runtime on the
+/// multi-socket SO_REUSEPORT receive path (SPSC rings under the chaos).
 struct ChaosProc {
   check::TraceRing ring;  // structured event trace, drained by the test
   transport::UdpRuntime rt;
@@ -32,13 +33,22 @@ struct ChaosProc {
   flip::FlipStack flip;
   BlockingGroup grp;
 
-  ChaosProc(flip::Address addr, GroupConfig cfg, std::uint64_t seed)
-      : rt(0), faults(rt, rt, seed), flip(rt, faults), grp(rt, flip, addr, cfg) {
+  static transport::UdpOptions opts_for(unsigned rx_shards) {
+    transport::UdpOptions o;
+    o.rx_shards = rx_shards;
+    return o;
+  }
+
+  ChaosProc(flip::Address addr, GroupConfig cfg, std::uint64_t seed,
+            unsigned rx_shards = 1)
+      : rt(opts_for(rx_shards)), faults(rt, rt, seed), flip(rt, faults),
+        grp(rt, flip, addr, cfg) {
     grp.member().set_trace_ring(&ring);  // before rt.start(): no races
   }
 };
 
 class UdpChaos : public ::testing::TestWithParam<std::uint64_t> {};
+class UdpChaosMultiSocket : public ::testing::TestWithParam<std::uint64_t> {};
 
 // Payload tag: (phase, sender, k) packed into the first bytes.
 Buffer tagged(std::size_t bytes, int phase, std::size_t sender, int k) {
@@ -52,8 +62,7 @@ int tag_of(const GroupMessage& m) {
   return (m.data[0] << 16) | (m.data[1] << 8) | m.data[2];
 }
 
-TEST_P(UdpChaos, LifecycleSurvivesSeededFaults) {
-  const std::uint64_t seed = GetParam();
+void run_chaos_lifecycle(std::uint64_t seed, unsigned rx_shards) {
   constexpr std::size_t kN = 4;
 
   GroupConfig cfg;
@@ -71,8 +80,9 @@ TEST_P(UdpChaos, LifecycleSurvivesSeededFaults) {
 
   std::vector<std::unique_ptr<ChaosProc>> procs;
   for (std::size_t i = 0; i < kN; ++i) {
-    procs.push_back(std::make_unique<ChaosProc>(flip::process_address(i + 1),
-                                                cfg, seed ^ (i * 0x9E37ULL)));
+    procs.push_back(std::make_unique<ChaosProc>(
+        flip::process_address(i + 1), cfg, seed ^ (i * 0x9E37ULL), rx_shards));
+    ASSERT_EQ(procs.back()->rt.rx_shards(), rx_shards);
   }
   std::vector<std::pair<std::string, std::uint16_t>> table;
   for (auto& p : procs) table.emplace_back("127.0.0.1", p->rt.local_port());
@@ -286,6 +296,18 @@ TEST_P(UdpChaos, LifecycleSurvivesSeededFaults) {
   for (auto& p : procs) p->rt.stop();
 }
 
+TEST_P(UdpChaos, LifecycleSurvivesSeededFaults) {
+  run_chaos_lifecycle(GetParam(), /*rx_shards=*/1);
+}
+
+// The same full lifecycle — faults, crash, ResetGroup, oracle — on the
+// multi-socket SO_REUSEPORT receive path: RX threads producing into SPSC
+// rings while the protocol core consumes. One small seed batch on PR CI;
+// the single-socket sweep above keeps the wide coverage.
+TEST_P(UdpChaosMultiSocket, LifecycleSurvivesSeededFaults) {
+  run_chaos_lifecycle(GetParam(), /*rx_shards=*/4);
+}
+
 /// Sweep width is environment-driven: AMOEBA_CHAOS_SEEDS (default 20).
 /// PR CI runs a fast subset; the nightly job raises it (tests/CMakeLists
 /// registers the nightly entry).
@@ -299,6 +321,8 @@ std::vector<std::uint64_t> chaos_seeds() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UdpChaos, ::testing::ValuesIn(chaos_seeds()));
+INSTANTIATE_TEST_SUITE_P(SeedBatch, UdpChaosMultiSocket,
+                         ::testing::Values(1ULL, 2ULL, 3ULL));
 
 }  // namespace
 }  // namespace amoeba::group

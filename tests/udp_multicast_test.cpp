@@ -1,0 +1,556 @@
+// Scale-out layers of the real-socket runtime: kernel IP multicast
+// (membership, loopback delivery, fallback-to-fanout when joining fails),
+// the SO_REUSEPORT multi-socket RX path, the io_uring backend, and the
+// satellite knobs (UdpOptions normalize, configurable max_payload,
+// eventfd wake counters, bounded tx queue). Everything runs on loopback;
+// every configuration must carry the same protocol bytes as the classic
+// single-socket fan-out path the paper tables use.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "group/blocking.hpp"
+#include "transport/udp_runtime.hpp"
+
+namespace amoeba {
+namespace {
+
+using transport::UdpBackend;
+using transport::UdpOptions;
+using transport::UdpRuntime;
+
+BufView frame_of(std::uint8_t tag, std::size_t bytes = 64) {
+  SharedBuffer b = SharedBuffer::allocate(bytes);
+  std::memset(b.data(), tag, bytes);
+  return BufView(std::move(b));
+}
+
+/// Spin until `pred` holds or `secs` elapse.
+template <typename Pred>
+bool eventually(const Pred& pred, int secs = 10) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(secs);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// UdpOptions: typed bad_config + clamps, configurable max_payload.
+// ---------------------------------------------------------------------------
+
+TEST(UdpOptionsTest, NonsenseIsBadConfig) {
+  const auto rejects = [](auto mutate) {
+    UdpOptions o;
+    mutate(o);
+    return o.normalize() == Status::bad_config;
+  };
+  EXPECT_TRUE(rejects([](UdpOptions& o) { o.max_payload = 0; }));
+  EXPECT_TRUE(rejects([](UdpOptions& o) { o.max_payload = 64; }));
+  EXPECT_TRUE(rejects([](UdpOptions& o) { o.max_payload = 70000; }));
+  EXPECT_TRUE(rejects([](UdpOptions& o) { o.tx_queue_hwm = 0; }));
+  EXPECT_TRUE(rejects([](UdpOptions& o) { o.rx_shards = 0; }));
+  EXPECT_TRUE(rejects([](UdpOptions& o) { o.rx_ring_capacity = 0; }));
+  EXPECT_TRUE(rejects([](UdpOptions& o) {
+    o.backend = UdpBackend::io_uring;
+    o.rx_shards = 2;  // the layers are switched on separate axes
+  }));
+  EXPECT_TRUE(rejects([](UdpOptions& o) {
+    o.kernel_multicast = true;
+    o.mcast_ifaddr.clear();
+  }));
+}
+
+TEST(UdpOptionsTest, ConstructorThrowsOnBadConfig) {
+  UdpOptions o;
+  o.max_payload = 0;
+  EXPECT_THROW(UdpRuntime{o}, std::invalid_argument);
+}
+
+TEST(UdpOptionsTest, OverSmallBoundsClampToFloors) {
+  UdpOptions o;
+  o.tx_queue_hwm = 1;
+  o.rx_ring_capacity = 3;
+  o.rx_shards = 99;
+  ASSERT_EQ(o.normalize(), Status::ok);
+  EXPECT_EQ(o.tx_queue_hwm, 64u);
+  EXPECT_EQ(o.rx_ring_capacity, 64u);
+  EXPECT_EQ(o.rx_shards, 16u);
+}
+
+TEST(UdpOptionsTest, MaxPayloadIsConfigurable) {
+  UdpOptions o;
+  o.max_payload = 8000;  // loopback MTU (65536) accommodates it
+  UdpRuntime rt(o);
+  EXPECT_EQ(rt.max_payload(), 8000u);
+  // The classic constructor keeps the paper's 1400.
+  UdpRuntime classic(std::uint16_t{0});
+  EXPECT_EQ(classic.max_payload(), 1400u);
+  EXPECT_FALSE(classic.kernel_multicast_active());
+  EXPECT_EQ(classic.rx_shards(), 1u);
+  EXPECT_EQ(classic.backend(), UdpBackend::poll);
+}
+
+// ---------------------------------------------------------------------------
+// Wake path (eventfd + suppression) and the bounded tx queue.
+// ---------------------------------------------------------------------------
+
+TEST(UdpWake, WakeupsAreCountedAndSuppressed) {
+  UdpRuntime rt(std::uint16_t{0});
+  rt.set_station_table(0, {{"127.0.0.1", rt.local_port()}});
+  rt.start();
+  {
+    std::lock_guard lock(rt.mutex());
+    for (int i = 0; i < 64; ++i) {
+      rt.post(Duration::zero(), [] {});
+    }
+  }
+  ASSERT_TRUE(eventually([&] {
+    return rt.io_stats().wakeups.load() >= 1;
+  }));
+  // 64 posts under one lock hold: the loop can't drain between them, so
+  // the pending-flag suppressor must have eaten most of the writes.
+  EXPECT_GE(rt.io_stats().wakes_suppressed.load(), 1u);
+  rt.stop();
+}
+
+TEST(UdpBackpressure, TxQueueHighWatermarkFlushesInline) {
+  UdpOptions ro;  // plain receiver
+  UdpRuntime receiver(ro);
+  UdpOptions so;
+  so.tx_queue_hwm = 1;  // clamps to the floor of 64
+  UdpRuntime sender(so);
+  ASSERT_EQ(sender.options().tx_queue_hwm, 64u);
+
+  std::vector<std::pair<std::string, std::uint16_t>> table = {
+      {"127.0.0.1", sender.local_port()},
+      {"127.0.0.1", receiver.local_port()},
+  };
+  sender.set_station_table(0, table);
+  receiver.set_station_table(1, table);
+  std::atomic<int> got{0};
+  receiver.set_receive_handler(
+      [&](transport::StationId, BufView) { got.fetch_add(1); });
+  receiver.start();
+
+  // Queue 200 frames while HOLDING the runtime mutex: the loop thread
+  // cannot flush, so the enqueuing context must hit the watermark and
+  // flush inline — bounded memory instead of a 200-deep queue.
+  constexpr int kFrames = 200;
+  {
+    std::lock_guard lock(sender.mutex());
+    for (int i = 0; i < kFrames; ++i) {
+      sender.send_unicast(1, frame_of(static_cast<std::uint8_t>(i)), 64);
+    }
+  }
+  EXPECT_GE(sender.io_stats().tx_queue_hwm_hits.load(), 1u);
+  EXPECT_GE(sender.io_stats().tx_backpressure_waits.load(), 1u);
+  // The inline flushes actually sent the frames (the loop never ran: the
+  // sender was never started).
+  EXPECT_GE(sender.io_stats().tx_datagrams.load(), 128u);
+  ASSERT_TRUE(eventually([&] { return got.load() >= 128; }));
+  receiver.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: kernel IP multicast at the device level.
+// ---------------------------------------------------------------------------
+
+struct McastPair {
+  UdpRuntime a;
+  UdpRuntime b;
+
+  static UdpOptions opts(std::uint16_t mcast_port) {
+    UdpOptions o;
+    o.kernel_multicast = true;
+    o.mcast_port = mcast_port;
+    return o;
+  }
+
+  McastPair() : a(opts(0)), b(opts(a.mcast_port())) {
+    std::vector<std::pair<std::string, std::uint16_t>> table = {
+        {"127.0.0.1", a.local_port()},
+        {"127.0.0.1", b.local_port()},
+    };
+    a.set_station_table(0, table);
+    b.set_station_table(1, table);
+  }
+};
+
+TEST(UdpMulticast, MembershipDeliversOnLoopback) {
+  McastPair p;
+  ASSERT_TRUE(p.a.kernel_multicast_active());
+  ASSERT_TRUE(p.b.kernel_multicast_active());
+  ASSERT_EQ(p.a.mcast_port(), p.b.mcast_port());
+
+  std::atomic<int> got_b{0};
+  std::atomic<transport::StationId> src_b{99};
+  p.b.set_receive_handler([&](transport::StationId s, BufView v) {
+    if (v.size() == 64 && v.data()[0] == 0x5A) {
+      src_b.store(s);
+      got_b.fetch_add(1);
+    }
+  });
+  std::atomic<int> got_a{0};
+  p.a.set_receive_handler(
+      [&](transport::StationId, BufView) { got_a.fetch_add(1); });
+
+  constexpr std::uint64_t kKey = 0x1234;
+  p.b.subscribe(kKey);
+  p.a.start();
+  p.b.start();
+
+  {
+    std::lock_guard lock(p.a.mutex());
+    p.a.send_multicast(kKey, frame_of(0x5A), 64);
+  }
+  ASSERT_TRUE(eventually([&] { return got_b.load() == 1; }));
+  EXPECT_EQ(src_b.load(), 0u) << "source resolves through the station table";
+  EXPECT_GE(p.a.io_stats().tx_mcast_datagrams.load(), 1u);
+  // The sender's own looped-back copy was identified and dropped.
+  ASSERT_TRUE(
+      eventually([&] { return p.a.io_stats().rx_self_dropped.load() >= 1; }));
+  EXPECT_EQ(got_a.load(), 0);
+
+  // Broadcast rides the permanent group — no subscription required.
+  {
+    std::lock_guard lock(p.a.mutex());
+    p.a.send_broadcast(frame_of(0x5A), 64);
+  }
+  ASSERT_TRUE(eventually([&] { return got_b.load() == 2; }));
+
+  // After unsubscribe the kernel stops delivering the per-key group.
+  p.b.unsubscribe(kKey);
+  {
+    std::lock_guard lock(p.a.mutex());
+    p.a.send_multicast(kKey, frame_of(0x5A), 64);
+    p.a.send_broadcast(frame_of(0x5A), 64);  // ordering fence
+  }
+  ASSERT_TRUE(eventually([&] { return got_b.load() >= 3; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(got_b.load(), 3) << "unsubscribed group must not deliver";
+
+  p.a.stop();
+  p.b.stop();
+}
+
+TEST(UdpMulticast, JoinFailureFallsBackToFanout) {
+  // 198.51.100.9 (TEST-NET-2) is a well-formed address no local interface
+  // carries, so IP_MULTICAST_IF fails and the runtime must fall back.
+  UdpOptions o;
+  o.kernel_multicast = true;
+  o.mcast_ifaddr = "198.51.100.9";
+  UdpRuntime bad(o);
+  EXPECT_FALSE(bad.kernel_multicast_active());
+  EXPECT_EQ(bad.mcast_port(), 0u);
+  EXPECT_GE(bad.io_stats().mcast_join_failures.load(), 1u);
+
+  // The fallback really is the classic fan-out: a peer with NO
+  // subscription still receives the multicast as unicast.
+  UdpRuntime peer(std::uint16_t{0});
+  std::vector<std::pair<std::string, std::uint16_t>> table = {
+      {"127.0.0.1", bad.local_port()},
+      {"127.0.0.1", peer.local_port()},
+  };
+  bad.set_station_table(0, table);
+  peer.set_station_table(1, table);
+  std::atomic<int> got{0};
+  peer.set_receive_handler(
+      [&](transport::StationId, BufView) { got.fetch_add(1); });
+  bad.start();
+  peer.start();
+  {
+    std::lock_guard lock(bad.mutex());
+    bad.send_multicast(0x77, frame_of(1), 64);
+  }
+  ASSERT_TRUE(eventually([&] { return got.load() == 1; }));
+  EXPECT_EQ(bad.io_stats().tx_mcast_datagrams.load(), 0u);
+  EXPECT_EQ(bad.io_stats().fanout_avoided.load(), 0u);
+  bad.stop();
+  peer.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Full group protocol over each scale-out layer: the same blocking API,
+// total order, and view management the paper tables exercise.
+// ---------------------------------------------------------------------------
+
+struct LayerProc {
+  UdpRuntime rt;
+  flip::FlipStack flip;
+  group::BlockingGroup grp;
+
+  LayerProc(flip::Address addr, const group::GroupConfig& cfg,
+            const UdpOptions& o)
+      : rt(o), flip(rt, rt), grp(rt, flip, addr, cfg) {}
+};
+
+/// Forms a 3-member group where every runtime uses `opts_of(i)`, pushes
+/// traffic from two senders, and checks identical total order.
+void run_group_over(
+    const std::function<UdpOptions(std::size_t, const UdpOptions&)>& opts_of) {
+  constexpr std::size_t kN = 3;
+  constexpr int kPer = 12;
+  group::GroupConfig cfg;
+  cfg.send_retry = Duration::millis(200);
+
+  std::vector<std::unique_ptr<LayerProc>> procs;
+  UdpOptions first{};
+  for (std::size_t i = 0; i < kN; ++i) {
+    const UdpOptions o = opts_of(i, first);
+    procs.push_back(
+        std::make_unique<LayerProc>(flip::process_address(i + 1), cfg, o));
+    if (i == 0) {
+      first = procs[0]->rt.options();
+      first.mcast_port = procs[0]->rt.mcast_port();
+    }
+  }
+  std::vector<std::pair<std::string, std::uint16_t>> table;
+  for (auto& p : procs) table.emplace_back("127.0.0.1", p->rt.local_port());
+  for (std::size_t i = 0; i < kN; ++i) {
+    procs[i]->rt.set_station_table(static_cast<transport::StationId>(i),
+                                   table);
+    procs[i]->rt.start();
+  }
+
+  const flip::Address gaddr = flip::group_address(0x3C);
+  ASSERT_EQ(procs[0]->grp.create_group(gaddr), Status::ok);
+  ASSERT_EQ(procs[1]->grp.join_group(gaddr), Status::ok);
+  ASSERT_EQ(procs[2]->grp.join_group(gaddr), Status::ok);
+
+  std::vector<std::thread> senders;
+  for (std::size_t i = 1; i < kN; ++i) {
+    senders.emplace_back([&, i] {
+      for (int k = 0; k < kPer; ++k) {
+        // Mix PB-size and BB-size payloads so both broadcast methods (and
+        // fragmentation) cross the layer under test.
+        Buffer b((k % 3 == 2) ? 2048 : 16);
+        b[0] = static_cast<std::uint8_t>(i);
+        b[1] = static_cast<std::uint8_t>(k);
+        ASSERT_EQ(procs[i]->grp.send_to_group(std::move(b)), Status::ok);
+      }
+    });
+  }
+  std::vector<std::vector<group::GroupMessage>> streams(kN);
+  std::vector<std::thread> receivers;
+  for (std::size_t i = 0; i < kN; ++i) {
+    receivers.emplace_back([&, i] {
+      int apps = 0;
+      while (apps < static_cast<int>(kN - 1) * kPer) {
+        auto r = procs[i]->grp.receive_from_group(Duration::seconds(20));
+        ASSERT_TRUE(r.ok()) << "receive at member " << i;
+        if (r->kind == group::MessageKind::app) {
+          ++apps;
+          streams[i].push_back(*r);
+        }
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  for (auto& t : receivers) t.join();
+
+  // Identical total order at every member.
+  for (std::size_t i = 1; i < kN; ++i) {
+    std::size_t a = 0, b = 0;
+    while (a < streams[0].size() && b < streams[i].size()) {
+      if (streams[0][a].seq < streams[i][b].seq) {
+        ++a;
+      } else if (streams[i][b].seq < streams[0][a].seq) {
+        ++b;
+      } else {
+        EXPECT_EQ(streams[0][a].sender, streams[i][b].sender);
+        EXPECT_EQ(streams[0][a].data, streams[i][b].data);
+        ++a;
+        ++b;
+      }
+    }
+  }
+  for (auto& p : procs) p->rt.stop();
+}
+
+TEST(UdpMulticast, GroupProtocolRunsOverKernelMulticast) {
+  run_group_over([](std::size_t i, const UdpOptions& first) {
+    UdpOptions o;
+    o.kernel_multicast = true;
+    o.mcast_port = (i == 0) ? std::uint16_t{0} : first.mcast_port;
+    return o;
+  });
+  // The layer was actually exercised, not silently bypassed.
+  // (Constructed inside the helper; re-assert with a fresh pair.)
+  McastPair p;
+  EXPECT_TRUE(p.a.kernel_multicast_active());
+}
+
+TEST(UdpMulticast, GroupProtocolStatsShowOneDatagramPerMulticast) {
+  // Direct stats check on the group run: every member active on the mcast
+  // path, senders counting mcast datagrams and saved fan-out unicasts.
+  constexpr std::size_t kN = 3;
+  group::GroupConfig cfg;
+  cfg.send_retry = Duration::millis(200);
+  std::vector<std::unique_ptr<LayerProc>> procs;
+  UdpOptions o0;
+  o0.kernel_multicast = true;
+  procs.push_back(
+      std::make_unique<LayerProc>(flip::process_address(1), cfg, o0));
+  UdpOptions rest = o0;
+  rest.mcast_port = procs[0]->rt.mcast_port();
+  for (std::size_t i = 1; i < kN; ++i) {
+    procs.push_back(
+        std::make_unique<LayerProc>(flip::process_address(i + 1), cfg, rest));
+  }
+  std::vector<std::pair<std::string, std::uint16_t>> table;
+  for (auto& p : procs) table.emplace_back("127.0.0.1", p->rt.local_port());
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(procs[i]->rt.kernel_multicast_active()) << "member " << i;
+    procs[i]->rt.set_station_table(static_cast<transport::StationId>(i),
+                                   table);
+    procs[i]->rt.start();
+  }
+  const flip::Address gaddr = flip::group_address(0x3D);
+  ASSERT_EQ(procs[0]->grp.create_group(gaddr), Status::ok);
+  ASSERT_EQ(procs[1]->grp.join_group(gaddr), Status::ok);
+  ASSERT_EQ(procs[2]->grp.join_group(gaddr), Status::ok);
+  for (int k = 0; k < 8; ++k) {
+    ASSERT_EQ(procs[1]->grp.send_to_group(Buffer{std::uint8_t(k)}),
+              Status::ok);
+  }
+  // PB method: member 1 handed each message to the sequencer (member 0)
+  // point-to-point, and the sequencer's ordered broadcasts went out as
+  // single group datagrams — with a 3-station table each one saved a
+  // fan-out unicast. The blocking sends above returned only after the
+  // sender saw its own delivery, so the sequencer's TX counters are
+  // already final.
+  EXPECT_GE(procs[0]->rt.io_stats().tx_mcast_datagrams.load(), 8u);
+  EXPECT_GE(procs[0]->rt.io_stats().fanout_avoided.load(), 8u);
+  // Receivers actually took them through the multicast socket (member 2's
+  // delivery may lag the sender's, so wait for it).
+  EXPECT_TRUE(eventually([&] {
+    return procs[2]->rt.io_stats().rx_mcast_datagrams.load() >= 8u;
+  }));
+  for (auto& p : procs) p->rt.stop();
+}
+
+TEST(UdpMultiSocket, GroupProtocolRunsOverShardedRx) {
+  run_group_over([](std::size_t, const UdpOptions&) {
+    UdpOptions o;
+    o.rx_shards = 4;
+    return o;
+  });
+}
+
+TEST(UdpMultiSocket, ShardedReceiverTakesConcurrentSenders) {
+  UdpOptions ro;
+  ro.rx_shards = 4;
+  UdpRuntime receiver(ro);
+  ASSERT_EQ(receiver.rx_shards(), 4u);
+
+  constexpr std::size_t kSenders = 4;
+  constexpr int kPer = 100;
+  std::vector<std::unique_ptr<UdpRuntime>> senders;
+  for (std::size_t i = 0; i < kSenders; ++i) {
+    senders.push_back(std::make_unique<UdpRuntime>(std::uint16_t{0}));
+  }
+  std::vector<std::pair<std::string, std::uint16_t>> table = {
+      {"127.0.0.1", receiver.local_port()}};
+  for (auto& s : senders) table.emplace_back("127.0.0.1", s->local_port());
+  receiver.set_station_table(0, table);
+  std::atomic<int> got{0};
+  receiver.set_receive_handler(
+      [&](transport::StationId, BufView) { got.fetch_add(1); });
+  receiver.start();
+  for (std::size_t i = 0; i < kSenders; ++i) {
+    senders[i]->set_station_table(static_cast<transport::StationId>(i + 1),
+                                  table);
+    senders[i]->start();
+  }
+
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kSenders; ++i) {
+    threads.emplace_back([&, i] {
+      for (int k = 0; k < kPer; ++k) {
+        std::lock_guard lock(senders[i]->mutex());
+        senders[i]->send_unicast(0, frame_of(static_cast<std::uint8_t>(k)),
+                                 64);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(eventually(
+      [&] { return got.load() == static_cast<int>(kSenders) * kPer; }));
+  EXPECT_EQ(receiver.io_stats().rx_ring_drops.load(), 0u);
+  for (auto& s : senders) s->stop();
+  receiver.stop();
+}
+
+TEST(UdpUring, BackendFallsBackWhenUnavailable) {
+  UdpOptions o;
+  o.backend = UdpBackend::io_uring;
+  UdpRuntime rt(o);  // must construct either way
+  if (!UdpRuntime::io_uring_available()) {
+    EXPECT_EQ(rt.backend(), UdpBackend::poll);
+  } else {
+    EXPECT_EQ(rt.backend(), UdpBackend::io_uring);
+  }
+}
+
+TEST(UdpUring, GroupProtocolRunsOverIoUring) {
+  if (!UdpRuntime::io_uring_available()) {
+    GTEST_SKIP() << "io_uring not available on this kernel/build";
+  }
+  run_group_over([](std::size_t, const UdpOptions&) {
+    UdpOptions o;
+    o.backend = UdpBackend::io_uring;
+    return o;
+  });
+}
+
+TEST(UdpUring, KernelMulticastRidesTheUringMultishot) {
+  if (!UdpRuntime::io_uring_available()) {
+    GTEST_SKIP() << "io_uring not available on this kernel/build";
+  }
+  // Receiver: io_uring backend + kernel multicast (the engine arms a
+  // multishot on the mcast socket too). Sender: plain poll + multicast.
+  UdpOptions ro;
+  ro.backend = UdpBackend::io_uring;
+  ro.kernel_multicast = true;
+  UdpRuntime receiver(ro);
+  ASSERT_EQ(receiver.backend(), UdpBackend::io_uring);
+  ASSERT_TRUE(receiver.kernel_multicast_active());
+  UdpOptions so;
+  so.kernel_multicast = true;
+  so.mcast_port = receiver.mcast_port();
+  UdpRuntime sender(so);
+
+  std::vector<std::pair<std::string, std::uint16_t>> table = {
+      {"127.0.0.1", sender.local_port()},
+      {"127.0.0.1", receiver.local_port()},
+  };
+  sender.set_station_table(0, table);
+  receiver.set_station_table(1, table);
+  std::atomic<int> got{0};
+  receiver.set_receive_handler([&](transport::StationId s, BufView v) {
+    if (s == 0 && v.size() == 64) got.fetch_add(1);
+  });
+  constexpr std::uint64_t kKey = 0xBEEF;
+  receiver.subscribe(kKey);
+  receiver.start();
+  sender.start();
+  for (int k = 0; k < 50; ++k) {
+    std::lock_guard lock(sender.mutex());
+    sender.send_multicast(kKey, frame_of(7), 64);
+  }
+  ASSERT_TRUE(eventually([&] { return got.load() == 50; }));
+  EXPECT_GE(receiver.io_stats().rx_mcast_datagrams.load(), 50u);
+  sender.stop();
+  receiver.stop();
+}
+
+}  // namespace
+}  // namespace amoeba
