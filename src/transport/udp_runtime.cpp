@@ -560,15 +560,27 @@ void UdpRuntime::subscribe(std::uint64_t mcast_key) {
   if (!mcast_active_) return;  // fan-out delivers everything anyway
   const std::uint32_t grp = group_ip_be(mcast_key);
   std::lock_guard lock(mcast_mu_);
-  if (++mcast_refs_[grp] > 1) return;  // already a member via another key
+  const auto it = mcast_refs_.find(grp);
+  if (it != mcast_refs_.end()) {  // already a member via another key
+    ++it->second;
+    return;
+  }
   ip_mreqn join{};
   join.imr_multiaddr.s_addr = grp;
   join.imr_address.s_addr = mcast_if_be_;
   if (::setsockopt(mcast_fd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &join,
                    sizeof(join)) != 0) {
+    // Record NOTHING: the membership does not exist (e.g. the per-socket
+    // igmp_max_memberships cap), and a refcount here would make every
+    // later subscribe to this group a silent no-op while senders keep
+    // using the kernel-multicast path — that group's traffic would be
+    // lost for good. With no entry, the next subscribe retries the join
+    // (by then memberships may have been freed).
     io_stats_.mcast_join_failures.fetch_add(1, std::memory_order_relaxed);
     log_warn("udp", "IP_ADD_MEMBERSHIP failed: errno=%d", errno);
+    return;
   }
+  mcast_refs_[grp] = 1;
 }
 
 void UdpRuntime::unsubscribe(std::uint64_t mcast_key) {

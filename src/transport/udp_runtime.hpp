@@ -45,7 +45,12 @@
 //     behind the kernel. The one exception is deliberate: when tx_queue_
 //     hits its high-watermark, the enqueuing context flushes inline while
 //     still holding mu_ — backpressure instead of unbounded memory
-//     (`tx_backpressure_waits` counts these stalls).
+//     (`tx_backpressure_waits` counts these stalls). Because that inline
+//     flush runs on a user thread while the loop thread may be in
+//     submit/drain, UringEngine serializes all ring state behind its own
+//     internal mutex (sendmmsg needs none — the syscall is the only
+//     shared state). Lock order is mu_ -> engine mutex, never the
+//     reverse: drain()'s sink only fills a loop-local batch.
 //   - RX shard threads touch only: their own socket, their own SPSC ring
 //     (as the single producer), the immutable station table, the relaxed
 //     io_stats_ counters, and the wake fd. They never take mu_.

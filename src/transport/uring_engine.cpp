@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 
 #include "common/logging.hpp"
 
@@ -40,6 +41,11 @@ constexpr std::uint16_t kBufGroup = 7;
 /// In-flight SENDMSG slab: bounds TX memory pinned by the kernel.
 constexpr unsigned kTxSlabs = 1024;
 constexpr int kTxRetries = 8;
+/// Consecutive terminal-error completions on one multishot before drain()
+/// stops re-arming it: a kernel that keeps rejecting the arm (same errno
+/// every time) would otherwise spin arm -> error CQE -> ring-fd readable
+/// -> poll -> re-arm forever.
+constexpr int kMaxArmErrs = 8;
 
 // user_data tags (top two bits select the kind, low bits the slab index).
 constexpr std::uint64_t kTagMask = 3ull << 62;
@@ -54,6 +60,14 @@ struct UringEngine::Impl {
   int data_fd{-1};
   int mcast_fd{-1};
   std::size_t slot_bytes{0};
+
+  // Serializes ALL ring state (SQ tail, to_submit, tx slab freelist,
+  // buffer ring): submit_tx is reachable from user threads via the
+  // tx-queue high-watermark inline flush while the loop thread drains,
+  // and nothing below is safe for two writers. Held across each public
+  // submit_tx/drain call — drain's RxSink runs under it, so the sink
+  // must not re-enter the engine.
+  std::mutex mu;
 
   // Submission ring (kernel-shared). sq_local_tail shadows *sq_tail.
   void* sq_ring{MAP_FAILED};
@@ -99,6 +113,12 @@ struct UringEngine::Impl {
   msghdr rx_msg_mcast{};
   bool data_armed{false};
   bool mcast_armed{false};
+  // Consecutive terminated-with-error completions per socket; any
+  // successful receive resets. At kMaxArmErrs the socket stops being
+  // re-armed (logged once). -ENOBUFS terminations don't count: the
+  // buffers ran dry, and recycling re-provides them.
+  int data_arm_errs{0};
+  int mcast_arm_errs{0};
 
   struct TxSlab {
     msghdr mh{};
@@ -148,6 +168,23 @@ struct UringEngine::Impl {
       // go out with the next flush, after drain() frees CQ space.
       break;
     }
+  }
+
+  /// Scan the CQ — without consuming — for a receive arm that already
+  /// terminated with an error. A kernel that accepts the ring setup and
+  /// the provided-buffer registration but rejects IORING_RECV_MULTISHOT
+  /// (e.g. 5.19) reports that only as an -EINVAL CQE posted synchronously
+  /// during submit; io_uring_enter itself succeeds. Returns the positive
+  /// errno, or 0 when no arm has failed.
+  int peek_arm_error() {
+    const unsigned tail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+    for (unsigned h = *cq_head; h != tail; ++h) {
+      const io_uring_cqe* c = &cqes[h & cq_mask];
+      if ((c->user_data & kTagMask) != kTxTag && c->res < 0) {
+        return -c->res;
+      }
+    }
+    return 0;
   }
 
   /// Hand slot `bid` (back) to the kernel through the buffer ring.
@@ -264,6 +301,7 @@ struct UringEngine::Impl {
 
   void handle_rx_cqe(const io_uring_cqe* c, const RxSink& sink) {
     const bool from_mcast = (c->user_data & kTagMask) == kRxMcastTag;
+    int& arm_errs = from_mcast ? mcast_arm_errs : data_arm_errs;
     if ((c->flags & IORING_CQE_F_MORE) == 0) {
       // The multishot terminated (error, or buffers ran dry); re-armed in
       // drain() after buffers have been recycled.
@@ -272,8 +310,15 @@ struct UringEngine::Impl {
       } else {
         data_armed = false;
       }
+      if (c->res < 0 && c->res != -ENOBUFS && ++arm_errs == kMaxArmErrs) {
+        log_warn("uring",
+                 "multishot recvmsg on %s socket keeps terminating "
+                 "(res=%d); giving up on re-arming it",
+                 from_mcast ? "mcast" : "data", c->res);
+      }
     }
     if (c->res < 0) return;  // e.g. -ENOBUFS; the re-arm recovers
+    arm_errs = 0;  // data flows; earlier terminations were transient
     if ((c->flags & IORING_CQE_F_BUFFER) == 0) return;
     const unsigned bid = c->flags >> IORING_CQE_BUFFER_SHIFT;
 
@@ -445,10 +490,20 @@ std::unique_ptr<UringEngine> UringEngine::create(int data_fd, int mcast_fd,
     set_err("arming multishot recvmsg failed");
     return nullptr;
   }
+  // A queued SQE is not an armed multishot: kernels without
+  // IORING_RECV_MULTISHOT accept the submission and post the rejection as
+  // a CQE. Catch it here so the runtime takes the documented poll
+  // fallback instead of silently never receiving.
+  if (const int arm_errno = impl->peek_arm_error()) {
+    errno = arm_errno;
+    set_err("multishot recvmsg rejected by the kernel");
+    return nullptr;
+  }
   return std::unique_ptr<UringEngine>(new UringEngine(std::move(impl)));
 }
 
 void UringEngine::submit_tx(std::vector<TxFrame>& frames, UdpIoStats& stats) {
+  std::lock_guard lock(impl_->mu);
   bool any = false;
   for (auto& f : frames) {
     io_uring_sqe* e = nullptr;
@@ -469,6 +524,7 @@ void UringEngine::submit_tx(std::vector<TxFrame>& frames, UdpIoStats& stats) {
 
 void UringEngine::drain(UdpIoStats& stats, const RxSink& sink) {
   Impl& im = *impl_;
+  std::lock_guard lock(im.mu);
   unsigned head = *im.cq_head;
   for (;;) {
     const unsigned tail = __atomic_load_n(im.cq_tail, __ATOMIC_ACQUIRE);
@@ -484,10 +540,11 @@ void UringEngine::drain(UdpIoStats& stats, const RxSink& sink) {
     }
     __atomic_store_n(im.cq_head, head, __ATOMIC_RELEASE);
   }
-  if (!im.data_armed) {
+  if (!im.data_armed && im.data_arm_errs < kMaxArmErrs) {
     im.arm_recv(im.data_fd, &im.rx_msg_data, kRxDataTag, &im.data_armed);
   }
-  if (im.mcast_fd >= 0 && !im.mcast_armed) {
+  if (im.mcast_fd >= 0 && !im.mcast_armed &&
+      im.mcast_arm_errs < kMaxArmErrs) {
     im.arm_recv(im.mcast_fd, &im.rx_msg_mcast, kRxMcastTag, &im.mcast_armed);
   }
   im.flush_submissions();

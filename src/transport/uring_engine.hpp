@@ -71,11 +71,17 @@ class UringEngine {
   /// io_uring_enter. When the submission queue or the in-flight slab is
   /// exhausted, the overflow goes out inline via sendmsg(2) — frames are
   /// never silently dropped here. Consumes (clears) `frames`.
+  /// Thread-safe against drain(): an internal mutex serializes all ring
+  /// state, because the tx-queue high-watermark flush reaches this from
+  /// user threads while the loop thread drains.
   void submit_tx(std::vector<TxFrame>& frames, UdpIoStats& stats);
 
   /// Drain the completion queue: retire TX slabs (counting into `stats`),
   /// hand each received datagram to `sink`, recycle and re-provide
-  /// buffers, and re-arm any multishot the kernel terminated.
+  /// buffers, and re-arm any multishot the kernel terminated (capped
+  /// after repeated same-socket arm failures so a hostile kernel can't
+  /// induce an arm/fail/poll busy loop). `sink` runs under the engine's
+  /// internal mutex and must not re-enter the engine.
   void drain(UdpIoStats& stats, const RxSink& sink);
 
  private:

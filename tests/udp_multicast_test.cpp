@@ -277,6 +277,62 @@ TEST(UdpMulticast, JoinFailureFallsBackToFanout) {
   peer.stop();
 }
 
+TEST(UdpMulticast, FailedPerKeyJoinIsRetriedOnNextSubscribe) {
+  // Exhaust the per-socket membership budget (igmp_max_memberships,
+  // default 20; the permanent broadcast group takes one slot) so some
+  // per-key joins genuinely fail. A failed join must NOT leave a
+  // refcount behind: with a stale ref, a later subscribe to the same key
+  // short-circuits as "already a member" and — senders being on the
+  // kernel-multicast path — that group's traffic is lost for good.
+  UdpOptions so;
+  so.kernel_multicast = true;
+  UdpRuntime sender(so);
+  if (!sender.kernel_multicast_active()) {
+    GTEST_SKIP() << "kernel multicast unavailable on this host";
+  }
+  UdpOptions ro = so;
+  ro.mcast_port = sender.mcast_port();
+  UdpRuntime receiver(ro);
+  ASSERT_TRUE(receiver.kernel_multicast_active());
+
+  // Keys 1..kKeys fold onto distinct 239.192/16 groups (a small key's
+  // fold is the key itself), so each subscribe attempts a fresh join.
+  constexpr std::uint64_t kKeys = 128;
+  for (std::uint64_t k = 1; k <= kKeys; ++k) receiver.subscribe(k);
+  if (receiver.io_stats().mcast_join_failures.load() == 0) {
+    GTEST_SKIP() << "igmp_max_memberships not reached at " << kKeys
+                 << " groups";
+  }
+  // Joins fail from the cap onward, so the LAST key's join failed. Free
+  // every other key's slot but leave key kKeys subscribed-but-failed,
+  // then subscribe it again: the join must be RETRIED (and now succeed),
+  // not short-circuited by a refcount recorded for the failed attempt.
+  for (std::uint64_t k = 1; k < kKeys; ++k) receiver.unsubscribe(k);
+  receiver.subscribe(kKeys);
+
+  // The membership is only real if the group actually delivers.
+  std::vector<std::pair<std::string, std::uint16_t>> table = {
+      {"127.0.0.1", sender.local_port()},
+      {"127.0.0.1", receiver.local_port()},
+  };
+  sender.set_station_table(0, table);
+  receiver.set_station_table(1, table);
+  std::atomic<int> got{0};
+  receiver.set_receive_handler([&](transport::StationId s, BufView v) {
+    if (s == 0 && v.size() == 64 && v.data()[0] == 0x42) got.fetch_add(1);
+  });
+  sender.start();
+  receiver.start();
+  {
+    std::lock_guard lock(sender.mutex());
+    sender.send_multicast(kKeys, frame_of(0x42), 64);
+  }
+  ASSERT_TRUE(eventually([&] { return got.load() >= 1; }))
+      << "retried join after freeing membership slots must deliver";
+  sender.stop();
+  receiver.stop();
+}
+
 // ---------------------------------------------------------------------------
 // Full group protocol over each scale-out layer: the same blocking API,
 // total order, and view management the paper tables exercise.
@@ -509,6 +565,60 @@ TEST(UdpUring, GroupProtocolRunsOverIoUring) {
     o.backend = UdpBackend::io_uring;
     return o;
   });
+}
+
+TEST(UdpUring, BackpressureFlushRacesTheLoopSafely) {
+  if (!UdpRuntime::io_uring_available()) {
+    GTEST_SKIP() << "io_uring not available on this kernel/build";
+  }
+  // The tx-queue high-watermark makes a user thread flush inline — on
+  // this backend that reaches UringEngine::submit_tx WHILE the loop
+  // thread is concurrently draining CQEs and flushing its own swapped
+  // batches. The engine must serialize internally; run the contended
+  // interleaving hard enough for TSan to see it.
+  UdpRuntime receiver{std::uint16_t{0}};
+  UdpOptions so;
+  so.backend = UdpBackend::io_uring;
+  so.tx_queue_hwm = 1;  // clamps to the floor of 64
+  UdpRuntime sender(so);
+  ASSERT_EQ(sender.backend(), UdpBackend::io_uring);
+
+  std::vector<std::pair<std::string, std::uint16_t>> table = {
+      {"127.0.0.1", sender.local_port()},
+      {"127.0.0.1", receiver.local_port()},
+  };
+  sender.set_station_table(0, table);
+  receiver.set_station_table(1, table);
+  std::atomic<int> got{0};
+  receiver.set_receive_handler(
+      [&](transport::StationId, BufView) { got.fetch_add(1); });
+  receiver.start();
+  sender.start();  // loop thread live, unlike the poll backpressure test
+
+  constexpr int kBursts = 20;
+  constexpr int kPerBurst = 100;
+  for (int b = 0; b < kBursts; ++b) {
+    // Each burst overruns the watermark under one lock hold, forcing the
+    // inline flush; between bursts the loop thread races on the ring.
+    std::lock_guard lock(sender.mutex());
+    for (int i = 0; i < kPerBurst; ++i) {
+      sender.send_unicast(1, frame_of(static_cast<std::uint8_t>(i)), 64);
+    }
+  }
+  EXPECT_GE(sender.io_stats().tx_queue_hwm_hits.load(), 1u);
+  // Conservation: every frame retires through exactly one path (uring
+  // CQE, inline sendmsg, or a counted drop) — a corrupted freelist shows
+  // up as lost or double-counted frames long before a crash does.
+  ASSERT_TRUE(eventually([&] {
+    return sender.io_stats().tx_datagrams.load() +
+               sender.io_stats().tx_dropped.load() >=
+           static_cast<std::uint64_t>(kBursts * kPerBurst);
+  }));
+  EXPECT_EQ(sender.io_stats().tx_datagrams.load() +
+                sender.io_stats().tx_dropped.load(),
+            static_cast<std::uint64_t>(kBursts * kPerBurst));
+  sender.stop();
+  receiver.stop();
 }
 
 TEST(UdpUring, KernelMulticastRidesTheUringMultishot) {
